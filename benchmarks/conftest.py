@@ -1,0 +1,42 @@
+"""Shared configuration for the benchmark suite.
+
+Each ``test_bench_*`` file regenerates one paper table/figure and prints the
+same rows/series the paper reports (captured with ``pytest -s`` or shown in
+the benchmark summary). Scales default to "minutes, not hours"; set
+``RFPROTECT_BENCH_FULL=1`` to run the paper's full workload sizes (45
+trajectories per environment, larger GAN sampling budgets).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+FULL_SCALE = os.environ.get("RFPROTECT_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> dict:
+    """Workload sizes for the benchmark run."""
+    if FULL_SCALE:
+        return {
+            "gan_quality": "full",
+            "fig11_trajectories": 45,   # the paper's count per environment
+            "fig12_samples": 300,
+            "table1_raters": 32,
+            "duration": 10.0,
+        }
+    return {
+        "gan_quality": "fast",
+        "fig11_trajectories": 10,
+        "fig12_samples": 120,
+        "table1_raters": 32,
+        "duration": 10.0,
+    }
+
+
+def emit(result) -> None:
+    """Print a result's paper-style table into the captured output."""
+    print()
+    print(result.format_table())

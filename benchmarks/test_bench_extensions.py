@@ -1,0 +1,54 @@
+"""Benches for the implemented future-work extensions (Sec. 8 / Sec. 13)."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import ext_floorplan, ext_multiradar, ext_pulsed
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_bench_ext_multiradar(benchmark, bench_scale):
+    """Dual-radar consistency attack: one tag cannot fool two radars."""
+    result = benchmark.pedantic(
+        ext_multiradar.run,
+        kwargs={"gan_quality": bench_scale["gan_quality"],
+                "duration": bench_scale["duration"]},
+        rounds=1, iterations=1,
+    )
+    emit(result)
+
+    assert result.ghost_exposed()
+    assert result.report.num_judged_real >= 1
+    assert result.report.num_judged_fake >= 1
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_bench_ext_pulsed(benchmark, bench_scale):
+    """Pulsed radar: FMCW switching inert, delay lines spoof."""
+    result = benchmark.pedantic(
+        ext_pulsed.run, kwargs={"duration": bench_scale["duration"]},
+        rounds=1, iterations=1,
+    )
+    emit(result)
+
+    assert result.human_tracking_error_m < 0.15
+    assert result.fmcw_tag_tracks == 0
+    assert result.delay_tag_tracks >= 1
+    assert result.delay_tag_replay_error_m < 2.5 * result.line_spacing_m
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_bench_ext_floorplan(benchmark, bench_scale):
+    """Floor-plan constraint removes every wall crossing."""
+    result = benchmark.pedantic(
+        ext_floorplan.run,
+        kwargs={"gan_quality": bench_scale["gan_quality"],
+                "num_ghosts": 40},
+        rounds=1, iterations=1,
+    )
+    emit(result)
+
+    assert result.unconstrained_crossing_rate > 0.0
+    assert result.constrained_crossings_total == 0
+    # Repair is gentle on the ghosts it touches.
+    assert result.shape_change_fraction < 0.6

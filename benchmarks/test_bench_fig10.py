@@ -1,0 +1,33 @@
+"""Bench for Fig. 10: reflector microbenchmarks.
+
+(a/b) the phantom's range-angle signature vs a real human's after
+background subtraction — peak powers must be comparable; (c) the replayed
+cGAN trajectory must follow the intended one.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import fig10
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_bench_fig10_reflector_microbenchmarks(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        fig10.run,
+        kwargs={"gan_quality": bench_scale["gan_quality"],
+                "duration": bench_scale["duration"]},
+        rounds=1, iterations=1,
+    )
+    emit(result)
+
+    # Phantom brightness is human-like (the paper shows near-identical
+    # profiles; exact parity depends on the human's range).
+    assert abs(result.peak_power_ratio_db) < 10.0
+    # Both profiles contain exactly one dominant mover.
+    for profile in (result.human_profile, result.ghost_profile):
+        peaks = profile.detect(threshold=profile.power.max() / 20.0,
+                               max_peaks=4)
+        assert 1 <= len(peaks) <= 3
+    # The replay follows the generated trajectory.
+    assert result.replay_median_error_m < 0.35

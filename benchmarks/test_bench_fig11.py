@@ -1,0 +1,46 @@
+"""Bench for Fig. 11: end-to-end spoofing accuracy CDFs (home + office).
+
+Regenerates the paper's headline table — median distance / angle / 2-D
+location error per environment, modulo translation+rotation — and asserts
+the shape: errors within the radar's resolution regime, office >= home on
+location error (multipath), paper medians within a small factor.
+
+Paper: home 5.56 cm / 2.05 deg / 12.70 cm; office 10.19 cm / 4.94 deg /
+24.49 cm.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import fig11
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_bench_fig11_spoofing_accuracy(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        fig11.run,
+        kwargs={"num_trajectories": bench_scale["fig11_trajectories"],
+                "gan_quality": bench_scale["gan_quality"],
+                "duration": bench_scale["duration"]},
+        rounds=1, iterations=1,
+    )
+    emit(result)
+
+    home = result.sweeps["home"].medians()
+    office = result.sweeps["office"].medians()
+
+    # Absolute regime: within a small factor of the paper's numbers.
+    assert home["distance_m"] < 0.20
+    assert home["angle_deg"] < 8.0
+    assert home["location_m"] < 0.35
+    assert office["location_m"] < 0.50
+
+    # The paper's crossover claim: the office is worse (multipath).
+    assert office["location_m"] > home["location_m"]
+
+    # CDFs are well-formed series.
+    for sweep in result.sweeps.values():
+        for family in ("distance", "angle", "location"):
+            values, levels = sweep.cdf(family)
+            assert values.shape == levels.shape
+            assert levels[-1] == pytest.approx(1.0)

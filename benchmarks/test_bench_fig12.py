@@ -1,0 +1,33 @@
+"""Bench for Fig. 12: normalized FID of the cGAN vs the three baselines.
+
+Paper series: Real 1.0, GAN 1.229, SingleTraj 1.867, ULM 2.022, Random
+3.440. The reproduced *shape* is the ordering — the cGAN sits closest to
+real motion, random motion is by far the worst. Absolute magnitudes differ:
+the CPU-budget GAN is much smaller than the paper's 512-unit model, and the
+kinematic-feature FID is more discriminative than an Inception-style
+embedding (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import fig12
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_bench_fig12_normalized_fid(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        fig12.run,
+        kwargs={"num_samples": bench_scale["fig12_samples"],
+                "gan_quality": bench_scale["gan_quality"]},
+        rounds=1, iterations=1,
+    )
+    emit(result)
+
+    fid = result.normalized_fid
+    assert fid["Real"] == pytest.approx(1.0)
+    # The ordering of Fig. 12: GAN < every baseline; Random is worst.
+    assert result.ordering_holds()
+    assert fid["Random"] == max(fid.values())
+    # The smart eavesdropper nails the naive baselines.
+    assert result.classifier_accuracy["Random"] > 0.9

@@ -1,0 +1,27 @@
+"""Bench for Fig. 13: legitimate sensing through the side channel.
+
+A human and a ghost coexist; the eavesdropper reports two targets, the
+legitimate sensor filters the disclosed ghost and recovers the human's
+trajectory.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import fig13
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_bench_fig13_legitimate_sensing(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        fig13.run,
+        kwargs={"gan_quality": bench_scale["gan_quality"],
+                "duration": bench_scale["duration"]},
+        rounds=1, iterations=1,
+    )
+    emit(result)
+
+    assert result.eavesdropper_count == 2
+    assert result.legitimate_count == 1
+    assert result.ghost_matched
+    assert result.human_recovery_error_m < 0.25

@@ -1,0 +1,37 @@
+"""Bench for Fig. 14: breathing-rate spoofing.
+
+The radar's vital-sign pipeline (phase of the subject's range bin) must
+read the correct period from the real breather AND the commanded period
+from the phantom breather — the two phase traces are the series Fig. 14
+plots.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import fig14
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_bench_fig14_breathing_spoofing(benchmark):
+    result = benchmark.pedantic(
+        fig14.run, kwargs={"duration": 30.0}, rounds=1, iterations=1,
+    )
+    emit(result)
+
+    assert result.human_estimated_period_s == pytest.approx(
+        result.human_true_period_s, rel=0.08
+    )
+    assert result.ghost_estimated_period_s == pytest.approx(
+        result.ghost_true_period_s, rel=0.08
+    )
+    # The spoofed phase trace oscillates with a chest-motion-scale
+    # excursion: 4*pi*A/lambda ~ 1.4 rad for the default 5 mm chest at
+    # 6 GHz. Unwrap and detrend first — the raw angle may straddle the
+    # ±pi branch.
+    unwrapped = np.unwrap(result.ghost_phase)
+    t = np.arange(unwrapped.size)
+    detrended = unwrapped - np.polyval(np.polyfit(t, unwrapped, 1), t)
+    ghost_span = float(np.ptp(detrended))
+    assert 0.05 < ghost_span < 4.0

@@ -1,0 +1,25 @@
+"""Bench for Fig. 7: mutual information I(X;Z) vs (M, q).
+
+Regenerates the exact curves (N=4, p=0.2, M in {1,2,4,8}) and checks the
+paper's shape: endpoints leak H(X), q~0.5 minimizes, more phantoms leak
+less.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import fig7
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_bench_fig7_mutual_information(benchmark):
+    result = benchmark(fig7.run)
+    emit(result)
+
+    bits = result.mutual_information_bits
+    assert bits[:, 0] == pytest.approx(result.baseline_entropy_bits, abs=1e-6)
+    assert bits[:, -1] == pytest.approx(result.baseline_entropy_bits, abs=1e-6)
+    minima = bits.min(axis=1)
+    assert all(b < a for a, b in zip(minima, minima[1:]))
+    for row_index in range(bits.shape[0]):
+        assert 0.3 <= result.minimum_q(row_index) <= 0.7

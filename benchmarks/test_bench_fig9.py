@@ -1,0 +1,26 @@
+"""Bench for Fig. 9: FMCW radar localization of shaped walks (office).
+
+The paper overlays the detected track on ground truth and reports a close
+match; the reproduced series is the per-path median/p90 localization error,
+which must sit near the radar's 15 cm range resolution.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import fig9
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_bench_fig9_radar_localization(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        fig9.run, kwargs={"duration": bench_scale["duration"]},
+        rounds=1, iterations=1,
+    )
+    emit(result)
+
+    for name, median in zip(result.path_names, result.median_errors_m):
+        assert median < 2.0 * result.range_resolution_m, (
+            f"{name} localization error {median:.3f} m is far beyond the "
+            f"range resolution"
+        )

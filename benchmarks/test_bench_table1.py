@@ -1,0 +1,32 @@
+"""Bench for Table 1: the (simulated) human study.
+
+32 raters x (5 real + 5 GAN) trajectories; the Pearson chi-square test on
+the 2x2 trueness x perception table must find no significant association —
+paper: chi2 = 0.2, p = 0.65.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import table1
+
+
+@pytest.mark.benchmark(group="table1")
+def test_bench_table1_user_study(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        table1.run,
+        kwargs={"num_raters": bench_scale["table1_raters"],
+                "gan_quality": bench_scale["gan_quality"]},
+        rounds=1, iterations=1,
+    )
+    emit(result)
+
+    assert result.table.sum() == bench_scale["table1_raters"] * 10
+    assert not result.test.significant(), (
+        "raters separated real from fake — the GAN output is detectably "
+        "unrealistic at this scale"
+    )
+    # Humans judge real trajectories as real only slightly more than half
+    # the time (paper: 93/160 = 58%) — both rates must be mid-range.
+    assert 0.3 <= result.perceived_real_rate(truly_real=True) <= 0.85
+    assert 0.3 <= result.perceived_real_rate(truly_real=False) <= 0.85

@@ -1,0 +1,5 @@
+"""Shim so legacy ``setup.py develop`` works in this offline environment."""
+
+from setuptools import setup
+
+setup()

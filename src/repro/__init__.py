@@ -1,0 +1,26 @@
+"""RF-Protect reproduction: privacy against device-free human tracking.
+
+A faithful, simulation-backed reproduction of *RF-Protect* (SIGCOMM 2022):
+an FMCW radar simulator (the eavesdropper), a switched-reflector model that
+injects ghost human reflections (the defense), a conditional GAN that
+generates realistic trajectories for those ghosts, and the paper's privacy
+analysis and evaluation harness.
+
+Quickstart::
+
+    from repro import quickstart_demo  # see examples/quickstart.py
+
+Public entry points live in the subpackages:
+
+- ``repro.radar`` — FMCW radar simulator and tracking pipeline.
+- ``repro.reflector`` — the RF-Protect tag (distance/angle/breathing spoofing).
+- ``repro.gan`` / ``repro.nn`` — trajectory cGAN on a numpy autograd engine.
+- ``repro.trajectories`` — human-motion dataset synthesis and handling.
+- ``repro.privacy`` — information-theoretic privacy analysis (Fig. 7).
+- ``repro.metrics`` — FID, rigid-alignment errors, statistics.
+- ``repro.experiments`` — one module per paper figure/table.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,82 @@
+"""``rfprotect`` command-line interface.
+
+Usage::
+
+    rfprotect list                 # show the available experiments
+    rfprotect run fig7             # full run of one experiment
+    rfprotect run fig11 --fast     # quick (seconds-scale) run
+    rfprotect run all --fast       # every experiment, quick settings
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections.abc import Sequence
+
+from repro.errors import ReproError
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rfprotect",
+        description="RF-Protect (SIGCOMM 2022) reproduction harness",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument(
+        "experiment",
+        help="experiment id (fig7 ... fig14, table1) or 'all'",
+    )
+    run_parser.add_argument(
+        "--fast", action="store_true",
+        help="use quick-run settings (seconds instead of minutes)",
+    )
+    run_parser.add_argument(
+        "--seed", type=int, default=None,
+        help="override the experiment's random seed",
+    )
+    return parser
+
+
+def _run_one(experiment_id: str, *, fast: bool, seed: int | None) -> None:
+    options = {} if seed is None else {"seed": seed}
+    started = time.perf_counter()
+    result = run_experiment(experiment_id, fast=fast, **options)
+    elapsed = time.perf_counter() - started
+    print(result.format_table())
+    print(f"[{experiment_id} finished in {elapsed:.1f}s]")
+    print()
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        width = max(len(eid) for eid in EXPERIMENTS)
+        for experiment_id in sorted(EXPERIMENTS):
+            spec = EXPERIMENTS[experiment_id]
+            print(f"{experiment_id:<{width}}  {spec.description}")
+        return 0
+
+    targets = (sorted(EXPERIMENTS) if args.experiment == "all"
+               else [args.experiment])
+    try:
+        for experiment_id in targets:
+            _run_one(experiment_id, fast=args.fast, seed=args.seed)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""Physical constants and paper-level defaults shared across subsystems.
+
+Values mirror the experimental setup in Sec. 9 of the paper: a 6--7 GHz chirp
+swept over 500 microseconds, a 7-antenna radar array, a 6-antenna reflector
+panel with roughly 20 cm spacing, and a radar-to-reflector separation of
+about 1.2 m.
+"""
+
+from __future__ import annotations
+
+SPEED_OF_LIGHT = 299_792_458.0
+"""Speed of light in vacuum (m/s)."""
+
+CHIRP_START_HZ = 6.0e9
+"""Paper chirp sweep start frequency (Sec. 9.1)."""
+
+CHIRP_BANDWIDTH_HZ = 1.0e9
+"""Paper chirp bandwidth: 6--7 GHz sweep (Sec. 9.1)."""
+
+CHIRP_DURATION_S = 500e-6
+"""Paper chirp duration (Sec. 9.1)."""
+
+RADAR_NUM_ANTENNAS = 7
+"""Antennas in the paper's eavesdropper radar array (Sec. 9.1)."""
+
+PANEL_NUM_ANTENNAS = 6
+"""Directional antennas on the RF-Protect panel (Sec. 9.2)."""
+
+PANEL_ANTENNA_SPACING_M = 0.20
+"""Panel antenna separation used in the paper's experiments (Sec. 9.2)."""
+
+RADAR_TO_REFLECTOR_DISTANCE_M = 1.2
+"""Distance between eavesdropper radar and reflector (Sec. 9.3)."""
+
+RANGE_RESOLUTION_M = SPEED_OF_LIGHT / (2.0 * CHIRP_BANDWIDTH_HZ)
+"""FMCW range resolution C / (2B) ~= 15 cm for a 1 GHz sweep (Sec. 3)."""
+
+TRACE_NUM_POINTS = 50
+"""Points per trajectory trace in the paper's dataset (Sec. 6)."""
+
+TRACE_DURATION_S = 10.0
+"""Duration of each trajectory trace (Sec. 6)."""
+
+NUM_RANGE_CLASSES = 5
+"""Range-of-motion classes used to condition the cGAN (Sec. 6)."""
+
+OFFICE_SIZE_M = (10.0, 6.6)
+"""Office environment footprint, width x depth (Fig. 8b)."""
+
+HOME_SIZE_M = (15.24, 7.62)
+"""Home environment footprint, width x depth (Fig. 8c)."""

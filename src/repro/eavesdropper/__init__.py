@@ -1,0 +1,38 @@
+"""Eavesdropper-side algorithms and the legitimate-sensor counterpart.
+
+The threat model (Sec. 2) grants the eavesdropper mobility models, machine
+learning, and statistical filtering. This package implements that
+adversary: occupancy/count/breathing inference from radar output
+(`inference`), a learned real-vs-fake trajectory classifier — the "smart
+eavesdropper" RF-Protect's GAN must defeat (`classifier`) — and the
+legitimate sensor that uses the tag's side channel to remove ghosts
+(`legitimate`, Sec. 11.3).
+"""
+
+from repro.eavesdropper.classifier import TrajectoryRealnessClassifier
+from repro.eavesdropper.inference import (
+    count_occupants,
+    estimate_breathing_period,
+    is_occupied,
+)
+from repro.eavesdropper.legitimate import GhostMatch, filter_ghost_trajectories
+from repro.eavesdropper.multi_radar import (
+    CrossViewReport,
+    classify_by_consistency,
+    cross_view_distance,
+)
+from repro.eavesdropper.periodicity import filter_periodic_tracks, periodicity_score
+
+__all__ = [
+    "CrossViewReport",
+    "GhostMatch",
+    "classify_by_consistency",
+    "cross_view_distance",
+    "TrajectoryRealnessClassifier",
+    "count_occupants",
+    "estimate_breathing_period",
+    "filter_ghost_trajectories",
+    "filter_periodic_tracks",
+    "is_occupied",
+    "periodicity_score",
+]

@@ -1,0 +1,69 @@
+"""Inference the eavesdropper runs on radar output.
+
+Occupancy, occupant counting, and breathing-rate extraction — the private
+quantities Sec. 1 lists as at risk. All operate on
+:class:`~repro.radar.radar.SensingResult`, i.e. on what the radar actually
+measured, so RF-Protect's phantoms corrupt them exactly as they would a
+real deployment.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TrackingError
+from repro.radar.radar import SensingResult
+from repro.radar.tracker import TrackerConfig
+from repro.signal.phase import dominant_period, unwrap_phase
+
+__all__ = ["count_occupants", "estimate_breathing_period", "is_occupied"]
+
+
+def is_occupied(result: SensingResult,
+                tracker_config: TrackerConfig | None = None) -> bool:
+    """Occupancy detection: did anything human-like move during the session?"""
+    return len(result.tracks(tracker_config)) > 0
+
+
+def count_occupants(result: SensingResult,
+                    tracker_config: TrackerConfig | None = None, *,
+                    min_overlap_fraction: float = 0.3) -> int:
+    """Count simultaneously-present movers.
+
+    Tracks whose time spans overlap are distinct people; fragmented tracks
+    of the same person do not overlap, so the count is the maximum number
+    of tracks alive at any time, requiring each counted track to cover at
+    least ``min_overlap_fraction`` of the session.
+    """
+    if not 0 < min_overlap_fraction <= 1:
+        raise TrackingError("min_overlap_fraction must be in (0, 1]")
+    tracks = result.tracks(tracker_config)
+    session_span = float(result.times[-1] - result.times[0])
+    if session_span <= 0:
+        raise TrackingError("session too short to count occupants")
+    long_tracks = [
+        t for t in tracks
+        if (t.times[-1] - t.times[0]) >= min_overlap_fraction * session_span
+    ]
+    if not long_tracks:
+        return 0
+    # Sweep over frame times counting alive tracks.
+    best = 0
+    for t in result.times:
+        alive = sum(1 for track in long_tracks
+                    if track.times[0] <= t <= track.times[-1])
+        best = max(best, alive)
+    return best
+
+
+def estimate_breathing_period(result: SensingResult, distance: float, *,
+                              antenna: int = 0,
+                              min_period: float = 2.0,
+                              max_period: float = 8.0) -> float:
+    """Breathing period (seconds) of a static subject at ``distance``.
+
+    Reads the beat-tone phase at the subject's range bin across frames,
+    unwraps it, and reports the dominant oscillation period — the classic
+    FMCW vital-sign pipeline the paper's Sec. 11.4 spoofs against.
+    """
+    phase = unwrap_phase(result.phase_series(distance, antenna=antenna))
+    return dominant_period(phase, result.frame_dt,
+                           min_period=min_period, max_period=max_period)

@@ -1,0 +1,81 @@
+"""Legitimate sensing: removing disclosed ghosts from tracking output.
+
+Sec. 11.3: the tag communicates its injected trajectories to a
+user-authorized sensor, which can then subtract them and recover real
+tracking. The sensed ghost matches the disclosed one only up to rotation,
+translation, and time offset (unknown radar pose), so matching is done by
+rigid alignment residual — the same machinery the evaluation metrics use.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import TrackingError
+from repro.metrics.alignment import aligned_trajectory
+from repro.reflector.tag import GhostReport
+from repro.types import Trajectory
+
+__all__ = ["GhostMatch", "filter_ghost_trajectories"]
+
+
+@dataclasses.dataclass(frozen=True)
+class GhostMatch:
+    """One sensed trajectory identified as a disclosed ghost."""
+
+    trajectory_index: int
+    ghost_id: int
+    residual: float
+
+
+def _alignment_residual(sensed: Trajectory, disclosed: Trajectory) -> float:
+    aligned, reference = aligned_trajectory(sensed, disclosed)
+    return float(np.mean(np.linalg.norm(aligned.points - reference.points, axis=1)))
+
+
+def filter_ghost_trajectories(trajectories: list[Trajectory],
+                              reports: list[GhostReport], *,
+                              match_threshold: float = 0.5
+                              ) -> tuple[list[Trajectory], list[GhostMatch]]:
+    """Split sensed trajectories into real ones and disclosed ghosts.
+
+    Each disclosed ghost claims the sensed trajectory it aligns to with the
+    smallest mean residual, provided the residual is below
+    ``match_threshold`` (meters). Greedy best-first assignment: ghosts and
+    trajectories are matched in increasing residual order, one-to-one.
+
+    Returns:
+        ``(real_trajectories, matches)`` — everything not claimed by a
+        ghost is considered real motion.
+    """
+    if match_threshold <= 0:
+        raise TrackingError("match_threshold must be positive")
+    if not trajectories:
+        return [], []
+
+    candidates: list[tuple[float, int, int]] = []
+    for gi, report in enumerate(reports):
+        for ti, sensed in enumerate(trajectories):
+            if len(sensed) < 2 or len(report.trajectory) < 2:
+                continue
+            residual = _alignment_residual(sensed, report.trajectory)
+            if residual <= match_threshold:
+                candidates.append((residual, ti, gi))
+    candidates.sort(key=lambda item: item[0])
+
+    matches: list[GhostMatch] = []
+    claimed_trajectories: set[int] = set()
+    claimed_ghosts: set[int] = set()
+    for residual, ti, gi in candidates:
+        if ti in claimed_trajectories or gi in claimed_ghosts:
+            continue
+        matches.append(GhostMatch(trajectory_index=ti, ghost_id=gi,
+                                  residual=residual))
+        claimed_trajectories.add(ti)
+        claimed_ghosts.add(gi)
+
+    real = [t for i, t in enumerate(trajectories)
+            if i not in claimed_trajectories]
+    return real, matches

@@ -1,0 +1,107 @@
+"""Multi-radar coordination: the extended threat model of Sec. 13.
+
+The paper's closing discussion notes that an eavesdropper deploying radars
+on several walls can unmask a single RF-Protect reflector: a *real* human
+is localized at the same world position by every radar, but a ghost's
+apparent position is constructed per-radar (distance offset along the ray
+from *that* radar through the tag's physical antenna), so two radars see
+the same ghost at *different* world positions.
+
+This module implements that attack: cross-view track matching and a
+consistency classifier. The companion experiment
+(`repro.experiments.ext_multiradar`) demonstrates both the attack
+succeeding against one reflector and the paper's proposed mitigation
+direction (per-radar reflectors).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import TrackingError
+from repro.types import Trajectory
+
+__all__ = ["CrossViewReport", "cross_view_distance", "classify_by_consistency"]
+
+
+def cross_view_distance(track_a: Trajectory, track_b: Trajectory) -> float:
+    """Mean world-coordinate distance between two radars' views of a track.
+
+    Both tracks are in shared room coordinates and cover the same session,
+    so after resampling to a common length, index ``i`` of both corresponds
+    to (approximately) the same instant. No alignment is applied — absolute
+    consistency is exactly what distinguishes real motion from ghosts.
+    """
+    if len(track_a) < 2 or len(track_b) < 2:
+        raise TrackingError("cross-view comparison needs >= 2 points per track")
+    n = min(len(track_a), len(track_b))
+    a = track_a.resampled(n).points
+    b = track_b.resampled(n).points
+    return float(np.mean(np.linalg.norm(a - b, axis=1)))
+
+
+@dataclasses.dataclass(frozen=True)
+class CrossViewReport:
+    """Outcome of the dual-radar consistency attack.
+
+    Attributes:
+        consistent_pairs: (index_a, index_b, distance) of tracks the two
+            radars agree on — judged real humans.
+        inconsistent_a: radar-A track indices with no consistent partner —
+            judged ghosts (or targets radar B missed).
+        inconsistent_b: same for radar B.
+    """
+
+    consistent_pairs: list[tuple[int, int, float]]
+    inconsistent_a: list[int]
+    inconsistent_b: list[int]
+
+    @property
+    def num_judged_real(self) -> int:
+        return len(self.consistent_pairs)
+
+    @property
+    def num_judged_fake(self) -> int:
+        return len(self.inconsistent_a) + len(self.inconsistent_b)
+
+
+def classify_by_consistency(tracks_a: list[Trajectory],
+                            tracks_b: list[Trajectory], *,
+                            threshold: float = 0.8) -> CrossViewReport:
+    """Greedy cross-view matching: pairs below ``threshold`` are "real".
+
+    Args:
+        tracks_a: trajectories extracted by radar A (room coordinates).
+        tracks_b: trajectories extracted by radar B (room coordinates).
+        threshold: max mean world distance (meters) for two views to count
+            as the same physical mover.
+    """
+    if threshold <= 0:
+        raise TrackingError("threshold must be positive")
+    candidates: list[tuple[float, int, int]] = []
+    for ia, track_a in enumerate(tracks_a):
+        for ib, track_b in enumerate(tracks_b):
+            if len(track_a) < 2 or len(track_b) < 2:
+                continue
+            distance = cross_view_distance(track_a, track_b)
+            if distance <= threshold:
+                candidates.append((distance, ia, ib))
+    candidates.sort(key=lambda item: item[0])
+
+    pairs: list[tuple[int, int, float]] = []
+    used_a: set[int] = set()
+    used_b: set[int] = set()
+    for distance, ia, ib in candidates:
+        if ia in used_a or ib in used_b:
+            continue
+        pairs.append((ia, ib, distance))
+        used_a.add(ia)
+        used_b.add(ib)
+
+    return CrossViewReport(
+        consistent_pairs=pairs,
+        inconsistent_a=[i for i in range(len(tracks_a)) if i not in used_a],
+        inconsistent_b=[i for i in range(len(tracks_b)) if i not in used_b],
+    )

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the RF-Protect reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch one base class. Specific subclasses mark which subsystem rejected the
+input, which keeps error handling explicit at call sites.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object holds physically or logically invalid values."""
+
+
+class SignalProcessingError(ReproError):
+    """A DSP routine received input it cannot process (shape, emptiness...)."""
+
+
+class SceneError(ReproError):
+    """A radar scene is inconsistent (entity outside room, bad geometry...)."""
+
+
+class ReflectorError(ReproError):
+    """The RF-Protect tag cannot realize the requested spoofing schedule."""
+
+
+class TrackingError(ReproError):
+    """The tracking pipeline failed to produce a usable trajectory."""
+
+
+class DatasetError(ReproError):
+    """A trajectory dataset is malformed or empty."""
+
+
+class GradientError(ReproError):
+    """An autograd operation was used in an unsupported way."""
+
+
+class TrainingError(ReproError):
+    """GAN training was configured inconsistently or diverged."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was invoked with an unknown id or bad options."""

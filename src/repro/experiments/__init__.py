@@ -1,0 +1,23 @@
+"""Experiment harness: one module per paper figure/table, plus a registry.
+
+Every module exposes a ``run(...)`` function returning a result object with
+a ``format_table()`` method that prints the same rows/series the paper
+reports. ``repro.experiments.runner`` maps experiment ids ("fig7" ...
+"table1") to those functions; the ``rfprotect`` CLI and the benchmark suite
+both go through it.
+"""
+
+from repro.experiments.environments import (
+    Environment,
+    home_environment,
+    office_environment,
+)
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "EXPERIMENTS",
+    "Environment",
+    "home_environment",
+    "office_environment",
+    "run_experiment",
+]

@@ -1,0 +1,103 @@
+"""Shared, memoized experiment artifacts: the motion dataset and trained GAN.
+
+Several experiments (Figs. 10-13, Table 1) need human-motion data and a
+trained trajectory generator. Training is deterministic given a seed, so
+artifacts are memoized per (quality, seed) within a process — the figure
+modules and the benchmark suite all share one trained model instead of
+retraining per experiment.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.gan import GanConfig, GanTrainer, TrajectorySampler
+from repro.trajectories import HumanMotionSimulator, TrajectoryDataset
+
+__all__ = ["GanArtifacts", "motion_dataset", "place_ghost_in_room", "trained_gan"]
+
+_QUALITY_PRESETS = {
+    # quality: (dataset size, GanConfig overrides)
+    "tiny": (120, dict(hidden_size=16, feature_dim=8, noise_dim=8,
+                       batch_size=32, epochs=2, dropout_probability=0.1)),
+    "fast": (300, dict(hidden_size=32, feature_dim=16, noise_dim=16,
+                       batch_size=64, epochs=16, dropout_probability=0.15)),
+    "full": (2000, dict(hidden_size=64, feature_dim=32, noise_dim=32,
+                        batch_size=128, epochs=30, dropout_probability=0.3)),
+}
+
+_DATASET_CACHE: dict[tuple[int, int], TrajectoryDataset] = {}
+_GAN_CACHE: dict[tuple[str, int], "GanArtifacts"] = {}
+
+
+def place_ghost_in_room(environment, controller, sampler,
+                        rng: np.random.Generator, *,
+                        max_attempts: int = 10):
+    """Sample a ghost shape and place it fully inside the room.
+
+    Redraws when the placed trajectory spills outside the footprint (large
+    GAN shapes near a shallow wall can); if every draw spills, the last
+    shape is shrunk until it fits. Returns the compiled schedule.
+    """
+    shape = None
+    for _ in range(max_attempts):
+        shape = sampler.sample(1, rng=rng)[0]
+        placed = controller.place_trajectory(shape)
+        if environment.room.contains_all(placed.points):
+            return controller.plan_trajectory(placed)
+    for _ in range(8):
+        shape = shape.scaled(0.7)
+        placed = controller.place_trajectory(shape)
+        if environment.room.contains_all(placed.points):
+            return controller.plan_trajectory(placed)
+    raise ExperimentError(
+        f"could not place a ghost inside the {environment.name} room"
+    )
+
+
+@dataclasses.dataclass
+class GanArtifacts:
+    """A trained generator with everything needed to use it."""
+
+    trainer: GanTrainer
+    sampler: TrajectorySampler
+    dataset: TrajectoryDataset
+    quality: str
+    seed: int
+
+
+def motion_dataset(num_traces: int, seed: int = 0) -> TrajectoryDataset:
+    """Memoized simulated human-motion dataset."""
+    key = (num_traces, seed)
+    if key not in _DATASET_CACHE:
+        simulator = HumanMotionSimulator(rng=np.random.default_rng(seed))
+        _DATASET_CACHE[key] = simulator.build_dataset(num_traces)
+    return _DATASET_CACHE[key]
+
+
+def trained_gan(quality: str = "fast", seed: int = 0) -> GanArtifacts:
+    """Memoized trained cGAN at the requested quality preset.
+
+    Qualities: ``tiny`` (seconds — unit tests), ``fast`` (tens of seconds —
+    benches), ``full`` (minutes — closest to the paper's training budget).
+    """
+    if quality not in _QUALITY_PRESETS:
+        known = ", ".join(sorted(_QUALITY_PRESETS))
+        raise ExperimentError(f"unknown GAN quality {quality!r}; choose from {known}")
+    key = (quality, seed)
+    if key not in _GAN_CACHE:
+        num_traces, overrides = _QUALITY_PRESETS[quality]
+        dataset = motion_dataset(num_traces, seed)
+        config = GanConfig(seed=seed, **overrides)
+        trainer = GanTrainer(dataset, config)
+        trainer.train()
+        sampler = TrajectorySampler(trainer.generator,
+                                    step_scale=trainer.step_scale,
+                                    dt=dataset.dt)
+        _GAN_CACHE[key] = GanArtifacts(trainer=trainer, sampler=sampler,
+                                       dataset=dataset, quality=quality,
+                                       seed=seed)
+    return _GAN_CACHE[key]

@@ -1,0 +1,98 @@
+"""Fig. 12: how realistic are the cGAN's trajectories?
+
+Normalized FID of the cGAN against the three baselines of the paper —
+single repeated trajectory, uniform linear motion, random motion — all
+scored against held-out real (simulated-human) trajectories. Paper values:
+Real 1.0, GAN 1.229, SingleTraj 1.867, ULM 2.022, Random 3.440; the shape
+to reproduce is the ordering Real < GAN < SingleTraj ~ ULM < Random.
+
+A second readout uses the smart-eavesdropper classifier: balanced accuracy
+near 0.5 means the source is indistinguishable from real motion.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.eavesdropper import TrajectoryRealnessClassifier
+from repro.errors import ExperimentError
+from repro.experiments.artifacts import trained_gan
+from repro.gan import (
+    random_motion_baseline,
+    single_trajectory_baseline,
+    uniform_linear_motion_baseline,
+)
+from repro.metrics.fid import normalized_fid_scores
+from repro.trajectories import TrajectoryDataset
+
+__all__ = ["Fig12Result", "run"]
+
+PAPER_SCORES = {"Real": 1.0, "GAN": 1.229, "SingleTraj": 1.867,
+                "ULM": 2.022, "Random": 3.440}
+
+
+@dataclasses.dataclass(frozen=True)
+class Fig12Result:
+    """Normalized FID and classifier detectability per source."""
+
+    normalized_fid: dict[str, float]
+    classifier_accuracy: dict[str, float]
+    num_samples: int
+
+    def ordering_holds(self) -> bool:
+        """The paper's headline: GAN beats every baseline."""
+        gan = self.normalized_fid["GAN"]
+        return all(gan < self.normalized_fid[name]
+                   for name in ("SingleTraj", "ULM", "Random"))
+
+    def format_table(self) -> str:
+        lines = ["Fig. 12 — normalized FID (lower = closer to real motion)",
+                 f"{'source':<12} {'FID (ours)':>11} {'FID (paper)':>12} "
+                 f"{'classifier acc':>15}"]
+        for name in ("Real", "GAN", "SingleTraj", "ULM", "Random"):
+            ours = self.normalized_fid.get(name, float("nan"))
+            paper = PAPER_SCORES[name]
+            acc = self.classifier_accuracy.get(name, float("nan"))
+            lines.append(f"{name:<12} {ours:>11.3f} {paper:>12.3f} {acc:>15.3f}")
+        return "\n".join(lines)
+
+
+def run(*, num_samples: int = 150, gan_quality: str = "fast",
+        seed: int = 0) -> Fig12Result:
+    """Generate all sources and score them."""
+    if num_samples < 8:
+        raise ExperimentError("num_samples must be >= 8")
+    rng = np.random.default_rng(seed)
+    artifacts = trained_gan(gan_quality, seed)
+    real = artifacts.dataset
+    dt = real.dt
+    num_points = real.num_points
+
+    gan_samples = TrajectoryDataset(artifacts.sampler.sample(num_samples, rng=rng))
+    reference_walk = real[int(rng.integers(len(real)))]
+    candidates = {
+        "GAN": gan_samples,
+        "SingleTraj": single_trajectory_baseline(reference_walk, num_samples, rng),
+        "ULM": uniform_linear_motion_baseline(num_samples, rng,
+                                              num_points=num_points, dt=dt),
+        "Random": random_motion_baseline(num_samples, rng,
+                                         num_points=num_points, dt=dt,
+                                         step_scale=real.step_scale()),
+    }
+    fid = normalized_fid_scores(candidates, real, rng)
+
+    # Smart-eavesdropper detectability: train on half, evaluate on half.
+    accuracies: dict[str, float] = {}
+    real_train, real_test = real.split(0.5, rng)
+    for name, dataset in candidates.items():
+        half = len(dataset) // 2
+        fake_train = dataset.subset(range(half))
+        fake_test = dataset.subset(range(half, len(dataset)))
+        classifier = TrajectoryRealnessClassifier(seed=seed)
+        classifier.fit(real_train, fake_train)
+        accuracies[name] = classifier.accuracy(real_test, fake_test)
+
+    return Fig12Result(normalized_fid=fid, classifier_accuracy=accuracies,
+                       num_samples=num_samples)

@@ -1,0 +1,113 @@
+"""Experiment registry: map paper figure/table ids to their run functions."""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    ext_floorplan,
+    ext_multiradar,
+    ext_pulsed,
+    fig7,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    table1,
+)
+
+__all__ = ["EXPERIMENTS", "ExperimentSpec", "run_experiment"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment."""
+
+    experiment_id: str
+    description: str
+    run: Callable
+    fast_options: dict
+    """Keyword overrides that make the experiment finish in seconds."""
+
+
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    spec.experiment_id: spec
+    for spec in (
+        ExperimentSpec(
+            "fig7",
+            "Mutual information I(X;Z) vs phantom count M and activation q",
+            fig7.run, {},
+        ),
+        ExperimentSpec(
+            "fig9",
+            "FMCW radar localization of shaped human walks",
+            fig9.run, {"duration": 6.0},
+        ),
+        ExperimentSpec(
+            "fig10",
+            "Human vs phantom range-angle profiles; GAN trajectory replay",
+            fig10.run, {"gan_quality": "tiny", "duration": 6.0},
+        ),
+        ExperimentSpec(
+            "fig11",
+            "2-D spoofing accuracy CDFs in home and office",
+            fig11.run, {"num_trajectories": 4, "gan_quality": "tiny",
+                        "duration": 6.0},
+        ),
+        ExperimentSpec(
+            "fig12",
+            "Normalized FID of GAN vs baselines, plus classifier detectability",
+            fig12.run, {"num_samples": 40, "gan_quality": "tiny"},
+        ),
+        ExperimentSpec(
+            "fig13",
+            "Legitimate sensing: ghost filtering via the tag side channel",
+            fig13.run, {"gan_quality": "tiny", "duration": 6.0},
+        ),
+        ExperimentSpec(
+            "fig14",
+            "Breathing-rate spoofing via the phase shifter",
+            fig14.run, {"duration": 20.0},
+        ),
+        ExperimentSpec(
+            "table1",
+            "Simulated user study: perceived realness vs trueness",
+            table1.run, {"gan_quality": "tiny", "num_raters": 8},
+        ),
+        ExperimentSpec(
+            "ext-multiradar",
+            "Extension (Sec. 13): dual-radar consistency attack on one tag",
+            ext_multiradar.run, {"gan_quality": "tiny", "duration": 8.0},
+        ),
+        ExperimentSpec(
+            "ext-pulsed",
+            "Extension (Sec. 13): pulsed radar and delay-line spoofing",
+            ext_pulsed.run, {"duration": 6.0},
+        ),
+        ExperimentSpec(
+            "ext-floorplan",
+            "Extension (Sec. 8): floor-plan-aware ghost trajectories",
+            ext_floorplan.run, {"gan_quality": "tiny", "num_ghosts": 15},
+        ),
+    )
+}
+
+
+def run_experiment(experiment_id: str, *, fast: bool = False, **options):
+    """Run one experiment by id; ``fast=True`` applies quick-run options.
+
+    Explicit keyword ``options`` override the fast presets.
+    """
+    spec = EXPERIMENTS.get(experiment_id)
+    if spec is None:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        )
+    kwargs = dict(spec.fast_options) if fast else {}
+    kwargs.update(options)
+    return spec.run(**kwargs)

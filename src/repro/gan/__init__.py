@@ -1,0 +1,30 @@
+"""Conditional trajectory GAN (Sec. 6, Fig. 6) and its baselines.
+
+The generator maps (noise, range-class label) to a trajectory; the
+discriminator scores (trajectory, label) pairs as real/fake; the trainer
+runs the standard cGAN minimax loss (Eq. 4) with the paper's optimizer
+settings. Baselines reproduce the three alternatives of Fig. 12: a single
+repeated trajectory, uniform linear motion, and random motion.
+"""
+
+from repro.gan.baselines import (
+    random_motion_baseline,
+    single_trajectory_baseline,
+    uniform_linear_motion_baseline,
+)
+from repro.gan.discriminator import TrajectoryDiscriminator
+from repro.gan.generator import TrajectoryGenerator
+from repro.gan.sampling import TrajectorySampler
+from repro.gan.trainer import GanConfig, GanTrainer, TrainingHistory
+
+__all__ = [
+    "GanConfig",
+    "GanTrainer",
+    "TrainingHistory",
+    "TrajectoryDiscriminator",
+    "TrajectoryGenerator",
+    "TrajectorySampler",
+    "random_motion_baseline",
+    "single_trajectory_baseline",
+    "uniform_linear_motion_baseline",
+]

@@ -1,0 +1,100 @@
+"""The three non-GAN trajectory sources compared in Fig. 12.
+
+- *SingleTraj*: one trajectory performed repeatedly (a user replaying the
+  same walk, with execution jitter).
+- *ULM*: uniform linear motion between random endpoints.
+- *Random*: uncorrelated random steps (white-noise motion).
+
+All are plausible-at-a-glance spoofing strategies that fail distributionally
+— the paper's point is that their FID against real motion is far worse than
+the cGAN's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import constants
+from repro.errors import ConfigurationError
+from repro.trajectories.dataset import TrajectoryDataset
+from repro.trajectories.labels import range_class_of_trajectory
+from repro.types import Trajectory
+
+__all__ = [
+    "random_motion_baseline",
+    "single_trajectory_baseline",
+    "uniform_linear_motion_baseline",
+]
+
+
+def _check_count(count: int) -> None:
+    if count < 1:
+        raise ConfigurationError("count must be >= 1")
+
+
+def single_trajectory_baseline(reference: Trajectory, count: int,
+                               rng: np.random.Generator, *,
+                               jitter: float = 0.02) -> TrajectoryDataset:
+    """``count`` noisy repetitions of one reference trajectory.
+
+    ``jitter`` is the per-point Gaussian execution noise in meters — a
+    human repeating a path never retraces it exactly.
+    """
+    _check_count(count)
+    if jitter < 0:
+        raise ConfigurationError("jitter must be >= 0")
+    trajectories = []
+    for _ in range(count):
+        noisy = reference.points + rng.normal(0.0, jitter, reference.points.shape)
+        trajectory = Trajectory(noisy, dt=reference.dt).centered()
+        trajectories.append(
+            trajectory.replace(label=range_class_of_trajectory(trajectory))
+        )
+    return TrajectoryDataset(trajectories)
+
+
+def uniform_linear_motion_baseline(count: int, rng: np.random.Generator, *,
+                                   num_points: int = constants.TRACE_NUM_POINTS,
+                                   dt: float | None = None,
+                                   speed_range: tuple[float, float] = (0.2, 1.4)
+                                   ) -> TrajectoryDataset:
+    """Straight-line constant-speed walks in random directions."""
+    _check_count(count)
+    low, high = speed_range
+    if low <= 0 or high <= low:
+        raise ConfigurationError("speed_range must satisfy 0 < low < high")
+    if dt is None:
+        dt = constants.TRACE_DURATION_S / (num_points - 1)
+    trajectories = []
+    for _ in range(count):
+        speed = rng.uniform(low, high)
+        heading = rng.uniform(0.0, 2.0 * np.pi)
+        direction = np.array([np.cos(heading), np.sin(heading)])
+        times = np.arange(num_points)[:, None] * dt
+        points = times * speed * direction
+        trajectory = Trajectory(points, dt=dt).centered()
+        trajectories.append(
+            trajectory.replace(label=range_class_of_trajectory(trajectory))
+        )
+    return TrajectoryDataset(trajectories)
+
+
+def random_motion_baseline(count: int, rng: np.random.Generator, *,
+                           num_points: int = constants.TRACE_NUM_POINTS,
+                           dt: float | None = None,
+                           step_scale: float = 0.15) -> TrajectoryDataset:
+    """White-noise random walks: every step independent of the last."""
+    _check_count(count)
+    if step_scale <= 0:
+        raise ConfigurationError("step_scale must be positive")
+    if dt is None:
+        dt = constants.TRACE_DURATION_S / (num_points - 1)
+    trajectories = []
+    for _ in range(count):
+        steps = rng.normal(0.0, step_scale, (num_points - 1, 2))
+        points = np.vstack([np.zeros((1, 2)), np.cumsum(steps, axis=0)])
+        trajectory = Trajectory(points, dt=dt).centered()
+        trajectories.append(
+            trajectory.replace(label=range_class_of_trajectory(trajectory))
+        )
+    return TrajectoryDataset(trajectories)

@@ -1,0 +1,77 @@
+"""Turning generated step sequences into trajectories.
+
+The generator works in normalized step space; the sampler rescales by the
+training dataset's RMS step, integrates to positions, and centers the
+result — producing the shape-only trajectories the reflector controller
+places into its coverage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gan.generator import TrajectoryGenerator
+from repro.types import Trajectory
+
+__all__ = ["TrajectorySampler", "steps_to_trajectory"]
+
+
+def steps_to_trajectory(steps: np.ndarray, *, scale: float, dt: float,
+                        label: int | None = None) -> Trajectory:
+    """Integrate a ``(T, 2)`` step sequence into a centered trajectory."""
+    steps = np.asarray(steps, dtype=float)
+    if steps.ndim != 2 or steps.shape[1] != 2:
+        raise ConfigurationError(f"steps must be (T, 2), got {steps.shape}")
+    if scale <= 0 or dt <= 0:
+        raise ConfigurationError("scale and dt must be positive")
+    positions = np.vstack([np.zeros((1, 2)), np.cumsum(steps * scale, axis=0)])
+    trajectory = Trajectory(positions, dt=dt, label=label)
+    return trajectory.centered()
+
+
+class TrajectorySampler:
+    """Draws trajectories from a trained generator.
+
+    Args:
+        generator: a (trained) :class:`TrajectoryGenerator`.
+        step_scale: the training dataset's RMS step (un-normalization).
+        dt: sampling interval of the produced trajectories.
+    """
+
+    def __init__(self, generator: TrajectoryGenerator, *, step_scale: float,
+                 dt: float) -> None:
+        if step_scale <= 0 or dt <= 0:
+            raise ConfigurationError("step_scale and dt must be positive")
+        self.generator = generator
+        self.step_scale = step_scale
+        self.dt = dt
+
+    def sample(self, count: int, *, label: int | None = None,
+               rng: np.random.Generator | None = None) -> list[Trajectory]:
+        """Sample ``count`` trajectories.
+
+        Args:
+            count: trajectories to draw.
+            label: fixed range class; random classes when ``None`` —
+                the conditional knob of the cGAN (Sec. 6).
+            rng: noise source (fixed default seed when omitted).
+        """
+        if count < 1:
+            raise ConfigurationError("count must be >= 1")
+        if rng is None:
+            rng = np.random.default_rng(0)
+        if label is None:
+            labels = rng.integers(0, self.generator.num_classes, count)
+        else:
+            if not 0 <= label < self.generator.num_classes:
+                raise ConfigurationError(
+                    f"label {label} outside [0, {self.generator.num_classes})"
+                )
+            labels = np.full(count, label, dtype=np.int64)
+        steps = self.generator.generate_steps(count, labels, rng)
+        return [
+            steps_to_trajectory(steps[i], scale=self.step_scale, dt=self.dt,
+                                label=int(labels[i]))
+            for i in range(count)
+        ]

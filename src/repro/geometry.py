@@ -1,0 +1,175 @@
+"""Planar geometry helpers: angles, rigid alignment, and room containment.
+
+The paper evaluates spoofing accuracy *modulo translation and rotation* of
+the whole trajectory (Sec. 11.1), so the rigid (Kabsch) alignment here is a
+load-bearing piece of the metrics pipeline, not a convenience.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "wrap_angle",
+    "angle_difference",
+    "unit_vector",
+    "rigid_align",
+    "RigidTransform",
+    "Rectangle",
+]
+
+
+def wrap_angle(angle: float | np.ndarray) -> float | np.ndarray:
+    """Wrap an angle (radians) into [-pi, pi)."""
+    return (np.asarray(angle) + np.pi) % (2.0 * np.pi) - np.pi
+
+
+def angle_difference(a: float | np.ndarray, b: float | np.ndarray) -> float | np.ndarray:
+    """Smallest signed difference a - b, wrapped into [-pi, pi)."""
+    return wrap_angle(np.asarray(a) - np.asarray(b))
+
+
+def unit_vector(angle: float) -> np.ndarray:
+    """Unit vector at ``angle`` radians from the +x axis."""
+    return np.array([math.cos(angle), math.sin(angle)])
+
+
+class RigidTransform:
+    """A 2-D rotation + translation: ``y = R @ x + t``."""
+
+    def __init__(self, rotation: np.ndarray, translation: np.ndarray) -> None:
+        rotation = np.asarray(rotation, dtype=float)
+        translation = np.asarray(translation, dtype=float)
+        if rotation.shape != (2, 2):
+            raise ConfigurationError("rotation must be a 2x2 matrix")
+        if translation.shape != (2,):
+            raise ConfigurationError("translation must be a length-2 vector")
+        self.rotation = rotation
+        self.translation = translation
+
+    @property
+    def angle(self) -> float:
+        """Rotation angle in radians."""
+        return math.atan2(self.rotation[1, 0], self.rotation[0, 0])
+
+    def apply(self, points: np.ndarray) -> np.ndarray:
+        """Apply the transform to an ``(N, 2)`` array of points."""
+        pts = np.asarray(points, dtype=float)
+        return pts @ self.rotation.T + self.translation
+
+    def inverse(self) -> "RigidTransform":
+        """Return the inverse transform."""
+        rot_inv = self.rotation.T
+        return RigidTransform(rot_inv, -rot_inv @ self.translation)
+
+    @staticmethod
+    def identity() -> "RigidTransform":
+        """Return the identity transform."""
+        return RigidTransform(np.eye(2), np.zeros(2))
+
+
+def rigid_align(source: np.ndarray, target: np.ndarray) -> RigidTransform:
+    """Find the rigid transform mapping ``source`` onto ``target``.
+
+    This is the Kabsch algorithm restricted to proper rotations (no
+    reflection, no scaling): it minimizes ``sum ||R @ s_i + t - t_i||^2``.
+    Both inputs must be ``(N, 2)`` arrays with matching N >= 2.
+    """
+    src = np.asarray(source, dtype=float)
+    tgt = np.asarray(target, dtype=float)
+    if src.shape != tgt.shape or src.ndim != 2 or src.shape[1] != 2:
+        raise ConfigurationError(
+            f"rigid_align needs matching (N, 2) arrays, got {src.shape} and {tgt.shape}"
+        )
+    if src.shape[0] < 2:
+        raise ConfigurationError("rigid_align needs at least 2 points")
+
+    src_mean = src.mean(axis=0)
+    tgt_mean = tgt.mean(axis=0)
+    cov = (tgt - tgt_mean).T @ (src - src_mean)
+    u, _, vt = np.linalg.svd(cov)
+    det = np.linalg.det(u @ vt)
+    correction = np.diag([1.0, math.copysign(1.0, det)])
+    rotation = u @ correction @ vt
+    translation = tgt_mean - rotation @ src_mean
+    return RigidTransform(rotation, translation)
+
+
+class Rectangle:
+    """An axis-aligned rectangle, used for room footprints (Fig. 8)."""
+
+    def __init__(self, x_min: float, y_min: float, x_max: float, y_max: float) -> None:
+        if x_max <= x_min or y_max <= y_min:
+            raise ConfigurationError(
+                f"degenerate rectangle ({x_min}, {y_min}, {x_max}, {y_max})"
+            )
+        self.x_min = float(x_min)
+        self.y_min = float(y_min)
+        self.x_max = float(x_max)
+        self.y_max = float(y_max)
+
+    @staticmethod
+    def from_size(width: float, depth: float,
+                  origin: Sequence[float] = (0.0, 0.0)) -> "Rectangle":
+        """Rectangle of the given size with its lower-left corner at ``origin``."""
+        ox, oy = (float(v) for v in origin)
+        return Rectangle(ox, oy, ox + width, oy + depth)
+
+    @property
+    def width(self) -> float:
+        return self.x_max - self.x_min
+
+    @property
+    def depth(self) -> float:
+        return self.y_max - self.y_min
+
+    @property
+    def center(self) -> np.ndarray:
+        return np.array([(self.x_min + self.x_max) / 2.0,
+                         (self.y_min + self.y_max) / 2.0])
+
+    @property
+    def area(self) -> float:
+        return self.width * self.depth
+
+    def contains(self, point: Sequence[float], margin: float = 0.0) -> bool:
+        """Whether ``point`` lies inside, shrunk by ``margin`` on each side."""
+        x, y = (float(v) for v in point)
+        return (self.x_min + margin <= x <= self.x_max - margin
+                and self.y_min + margin <= y <= self.y_max - margin)
+
+    def contains_all(self, points: np.ndarray, margin: float = 0.0) -> bool:
+        """Whether every row of an ``(N, 2)`` array lies inside."""
+        pts = np.asarray(points, dtype=float)
+        return bool(
+            np.all(pts[:, 0] >= self.x_min + margin)
+            and np.all(pts[:, 0] <= self.x_max - margin)
+            and np.all(pts[:, 1] >= self.y_min + margin)
+            and np.all(pts[:, 1] <= self.y_max - margin)
+        )
+
+    def clamp(self, point: Sequence[float], margin: float = 0.0) -> np.ndarray:
+        """Project ``point`` onto the rectangle shrunk by ``margin``."""
+        x, y = (float(v) for v in point)
+        x = min(max(x, self.x_min + margin), self.x_max - margin)
+        y = min(max(y, self.y_min + margin), self.y_max - margin)
+        return np.array([x, y])
+
+    def clamp_all(self, points: np.ndarray, margin: float = 0.0) -> np.ndarray:
+        """Project every row of an ``(N, 2)`` array into the rectangle."""
+        pts = np.array(points, dtype=float)
+        pts[:, 0] = np.clip(pts[:, 0], self.x_min + margin, self.x_max - margin)
+        pts[:, 1] = np.clip(pts[:, 1], self.y_min + margin, self.y_max - margin)
+        return pts
+
+    def sample_interior(self, rng: np.random.Generator,
+                        margin: float = 0.0) -> np.ndarray:
+        """Draw a uniform random point from the shrunk interior."""
+        x = rng.uniform(self.x_min + margin, self.x_max - margin)
+        y = rng.uniform(self.y_min + margin, self.y_max - margin)
+        return np.array([x, y])

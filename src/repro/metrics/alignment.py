@@ -1,0 +1,95 @@
+"""Spoofing-error metrics, evaluated modulo translation and rotation.
+
+Sec. 11.1: "the goal of RF-Protect is to spoof the relative trajectory
+produced by the cGAN rather than the absolute location ... we measure the
+metrics below modulo translation and rotation of the entire trajectory."
+The rigid alignment is solved with the Kabsch algorithm; the distance and
+angle errors are then measured in the radar's polar frame, which is what
+Figs. 11a/11b plot.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.geometry import rigid_align, wrap_angle
+from repro.types import Trajectory
+
+__all__ = ["SpoofingErrors", "aligned_trajectory", "spoofing_errors"]
+
+
+def _common_length(measured: Trajectory, intended: Trajectory) -> int:
+    return min(len(measured), len(intended))
+
+
+def aligned_trajectory(measured: Trajectory,
+                       intended: Trajectory) -> tuple[Trajectory, Trajectory]:
+    """Resample both trajectories to a common length and rigidly align.
+
+    Returns ``(aligned_measured, resampled_intended)``; the measured
+    trajectory is mapped onto the intended one's frame by the best
+    rotation + translation (no scaling — a scale error is a real spoofing
+    error and must remain visible).
+    """
+    n = _common_length(measured, intended)
+    if n < 2:
+        raise ConfigurationError("alignment needs trajectories with >= 2 points")
+    measured_r = measured.resampled(n)
+    intended_r = intended.resampled(n)
+    transform = rigid_align(measured_r.points, intended_r.points)
+    aligned = measured_r.replace(points=transform.apply(measured_r.points))
+    return aligned, intended_r
+
+
+@dataclasses.dataclass(frozen=True)
+class SpoofingErrors:
+    """Per-point spoofing errors of one trajectory (Fig. 11 inputs).
+
+    Attributes:
+        distance_errors: |polar radius difference| from the radar, meters.
+        angle_errors: |bearing difference| from the radar, radians.
+        location_errors: 2-D point distance after alignment, meters.
+    """
+
+    distance_errors: np.ndarray
+    angle_errors: np.ndarray
+    location_errors: np.ndarray
+
+    def medians(self) -> dict[str, float]:
+        """Median of each error, with the angle converted to degrees."""
+        return {
+            "distance_m": float(np.median(self.distance_errors)),
+            "angle_deg": float(np.degrees(np.median(self.angle_errors))),
+            "location_m": float(np.median(self.location_errors)),
+        }
+
+
+def spoofing_errors(measured: Trajectory, intended: Trajectory,
+                    radar_position: np.ndarray) -> SpoofingErrors:
+    """Compute Fig. 11's three error families for one spoofed trajectory.
+
+    The measured trajectory is first rigidly aligned to the intended one
+    (the paper's "modulo translation and rotation"); remaining differences
+    are decomposed into polar radius and bearing relative to the radar,
+    plus the raw 2-D distance.
+    """
+    radar = np.asarray(radar_position, dtype=float)
+    if radar.shape != (2,):
+        raise ConfigurationError("radar_position must be (x, y)")
+    aligned, reference = aligned_trajectory(measured, intended)
+
+    rel_measured = aligned.points - radar
+    rel_intended = reference.points - radar
+    radius_measured = np.linalg.norm(rel_measured, axis=1)
+    radius_intended = np.linalg.norm(rel_intended, axis=1)
+    bearing_measured = np.arctan2(rel_measured[:, 1], rel_measured[:, 0])
+    bearing_intended = np.arctan2(rel_intended[:, 1], rel_intended[:, 0])
+
+    return SpoofingErrors(
+        distance_errors=np.abs(radius_measured - radius_intended),
+        angle_errors=np.abs(wrap_angle(bearing_measured - bearing_intended)),
+        location_errors=np.linalg.norm(aligned.points - reference.points, axis=1),
+    )

@@ -1,0 +1,38 @@
+"""A from-scratch numpy autograd engine and neural-network toolkit.
+
+The paper trains its trajectory cGAN in PyTorch; this environment has no
+deep-learning framework, so the substrate is built here: a reverse-mode
+autodiff :class:`~repro.nn.tensor.Tensor`, differentiable ops
+(`functional`), layers including LSTM and bidirectional LSTM (`layers`,
+`recurrent`), optimizers (`optim`), initializers (`init`) and state
+(de)serialization (`serialization`). Everything is plain numpy and is
+validated against numerical gradients in the test suite.
+"""
+
+from repro.nn import functional
+from repro.nn.layers import Dropout, Embedding, Linear, Module, ReLU, Sequential, Sigmoid, Tanh
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.recurrent import BiLSTM, LSTM, LSTMCell
+from repro.nn.serialization import load_state, save_state
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "Adam",
+    "BiLSTM",
+    "Dropout",
+    "Embedding",
+    "LSTM",
+    "LSTMCell",
+    "Linear",
+    "Module",
+    "Optimizer",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "Sigmoid",
+    "Tanh",
+    "Tensor",
+    "functional",
+    "load_state",
+    "save_state",
+]

@@ -1,0 +1,63 @@
+"""Weight initializers.
+
+Each initializer returns a plain numpy array; layers wrap the result in a
+parameter :class:`~repro.nn.tensor.Tensor`. Glorot/Xavier is the default
+for feed-forward weights, orthogonal for recurrent matrices (it keeps
+long-sequence gradients well-conditioned, which matters for the 50-step
+trajectory LSTMs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["xavier_uniform", "uniform", "zeros", "orthogonal"]
+
+
+def _check_shape(shape: tuple[int, ...]) -> None:
+    if not shape or any(n < 1 for n in shape):
+        raise ConfigurationError(f"invalid parameter shape {shape}")
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator,
+                   gain: float = 1.0) -> np.ndarray:
+    """Glorot uniform: bound ``gain * sqrt(6 / (fan_in + fan_out))``."""
+    _check_shape(shape)
+    if len(shape) < 2:
+        fan_in = fan_out = shape[0]
+    else:
+        fan_in, fan_out = shape[-1], shape[-2]
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, shape)
+
+
+def uniform(shape: tuple[int, ...], rng: np.random.Generator,
+            bound: float = 0.1) -> np.ndarray:
+    """Uniform in ``[-bound, bound]``."""
+    _check_shape(shape)
+    if bound <= 0:
+        raise ConfigurationError(f"bound must be positive, got {bound}")
+    return rng.uniform(-bound, bound, shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All zeros (biases)."""
+    _check_shape(shape)
+    return np.zeros(shape)
+
+
+def orthogonal(shape: tuple[int, ...], rng: np.random.Generator,
+               gain: float = 1.0) -> np.ndarray:
+    """(Semi-)orthogonal matrix via QR of a Gaussian draw; 2-D only."""
+    _check_shape(shape)
+    if len(shape) != 2:
+        raise ConfigurationError("orthogonal init is defined for 2-D shapes")
+    rows, cols = shape
+    flat = rng.standard_normal((max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(flat)
+    q = q * np.sign(np.diag(r))  # make the decomposition unique
+    if rows < cols:
+        q = q.T
+    return gain * q[:rows, :cols]

@@ -1,0 +1,109 @@
+"""Optimizers: SGD with momentum, and Adam (the paper's choice, Sec. 9.2)."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.tensor import Tensor
+
+__all__ = ["Adam", "Optimizer", "SGD"]
+
+
+class Optimizer:
+    """Base class holding the parameter list and the step/zero protocol."""
+
+    def __init__(self, parameters: Iterable[Tensor], learning_rate: float) -> None:
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ConfigurationError("optimizer received no parameters")
+        if any(not p.requires_grad for p in self.parameters):
+            raise ConfigurationError("all optimized tensors must require grad")
+        if learning_rate <= 0:
+            raise ConfigurationError(f"learning rate must be positive, got {learning_rate}")
+        self.learning_rate = learning_rate
+
+    def zero_grad(self) -> None:
+        """Clear all parameter gradients."""
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def clip_gradients(self, max_norm: float) -> float:
+        """Scale gradients so their global L2 norm is at most ``max_norm``.
+
+        Returns the pre-clipping norm — useful for divergence monitoring.
+        """
+        if max_norm <= 0:
+            raise ConfigurationError("max_norm must be positive")
+        total = 0.0
+        for parameter in self.parameters:
+            if parameter.grad is not None:
+                total += float((parameter.grad ** 2).sum())
+        norm = float(np.sqrt(total))
+        if norm > max_norm:
+            scale = max_norm / (norm + 1e-12)
+            for parameter in self.parameters:
+                if parameter.grad is not None:
+                    parameter.grad *= scale
+        return norm
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(self, parameters: Iterable[Tensor], learning_rate: float = 0.01,
+                 *, momentum: float = 0.0) -> None:
+        super().__init__(parameters, learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for parameter, velocity in zip(self.parameters, self._velocity):
+            if parameter.grad is None:
+                continue
+            velocity *= self.momentum
+            velocity -= self.learning_rate * parameter.grad
+            parameter.data += velocity
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (Kingma & Ba)."""
+
+    def __init__(self, parameters: Iterable[Tensor], learning_rate: float = 1e-3,
+                 *, beta1: float = 0.9, beta2: float = 0.999,
+                 epsilon: float = 1e-8) -> None:
+        super().__init__(parameters, learning_rate)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ConfigurationError("betas must be in [0, 1)")
+        if epsilon <= 0:
+            raise ConfigurationError("epsilon must be positive")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._step_count = 0
+        self._first_moment = [np.zeros_like(p.data) for p in self.parameters]
+        self._second_moment = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step_count += 1
+        correction1 = 1.0 - self.beta1 ** self._step_count
+        correction2 = 1.0 - self.beta2 ** self._step_count
+        for parameter, m, v in zip(self.parameters, self._first_moment,
+                                   self._second_moment):
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad ** 2
+            m_hat = m / correction1
+            v_hat = v / correction2
+            parameter.data -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)

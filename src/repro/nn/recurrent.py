@@ -1,0 +1,176 @@
+"""Recurrent layers: LSTM cell, stacked LSTM, and bidirectional LSTM.
+
+The paper's generator uses a two-layer LSTM and the discriminator a
+bidirectional LSTM, both with hidden size 512 and dropout 0.5 (Sec. 6).
+These implementations follow the standard gate equations (Hochreiter &
+Schmidhuber) with a forget-gate bias of 1 for stable early training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn import init
+from repro.nn.functional import concat, dropout, lstm_cell, stack
+from repro.nn.layers import Module
+from repro.nn.tensor import Tensor
+
+__all__ = ["LSTM", "LSTMCell", "BiLSTM"]
+
+
+class LSTMCell(Module):
+    """One LSTM step: gates ``i, f, g, o`` over input and hidden state.
+
+    Weights are stored input-major (``(input_size, 4H)`` / ``(H, 4H)``) so
+    the forward pass is two bare matmuls, and the gate nonlinearities run
+    through the fused :func:`~repro.nn.functional.lstm_cell` op. The
+    composed-op reference path (:meth:`forward_composed`) is kept for
+    equivalence testing.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator) -> None:
+        super().__init__()
+        if input_size < 1 or hidden_size < 1:
+            raise ConfigurationError("LSTM sizes must be >= 1")
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        gates = 4 * hidden_size
+        self.weight_ih = Tensor(init.xavier_uniform((input_size, gates), rng),
+                                requires_grad=True)
+        self.weight_hh = Tensor(
+            np.hstack([init.orthogonal((hidden_size, hidden_size), rng)
+                       for _ in range(4)]),
+            requires_grad=True,
+        )
+        bias = np.zeros(gates)
+        bias[hidden_size: 2 * hidden_size] = 1.0  # forget-gate bias
+        self.bias = Tensor(bias, requires_grad=True)
+
+    def _gates(self, x: Tensor, h_prev: Tensor) -> Tensor:
+        return x @ self.weight_ih + h_prev @ self.weight_hh + self.bias
+
+    def forward(self, x: Tensor, state: tuple[Tensor, Tensor]) -> tuple[Tensor, Tensor]:
+        """One step: ``x`` is ``(B, input_size)``; returns ``(h, c)``."""
+        h_prev, c_prev = state
+        return lstm_cell(self._gates(x, h_prev), c_prev)
+
+    def forward_composed(self, x: Tensor,
+                         state: tuple[Tensor, Tensor]) -> tuple[Tensor, Tensor]:
+        """Reference implementation from elementary ops (for testing)."""
+        h_prev, c_prev = state
+        gates = self._gates(x, h_prev)
+        H = self.hidden_size
+        i = gates[:, 0 * H: 1 * H].sigmoid()
+        f = gates[:, 1 * H: 2 * H].sigmoid()
+        g = gates[:, 2 * H: 3 * H].tanh()
+        o = gates[:, 3 * H: 4 * H].sigmoid()
+        c = f * c_prev + i * g
+        h = o * c.tanh()
+        return h, c
+
+    def initial_state(self, batch_size: int) -> tuple[Tensor, Tensor]:
+        """Zero ``(h, c)`` for a batch."""
+        zeros = np.zeros((batch_size, self.hidden_size))
+        return Tensor(zeros), Tensor(zeros.copy())
+
+
+class LSTM(Module):
+    """Stacked unidirectional LSTM over a ``(T, B, D)`` sequence."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator, *, num_layers: int = 1,
+                 dropout_probability: float = 0.0) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise ConfigurationError("num_layers must be >= 1")
+        if not 0.0 <= dropout_probability < 1.0:
+            raise ConfigurationError("dropout probability must be in [0, 1)")
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        self.dropout_probability = dropout_probability
+        self._rng = rng
+        self.cells = [
+            LSTMCell(input_size if layer == 0 else hidden_size, hidden_size, rng)
+            for layer in range(num_layers)
+        ]
+
+    def forward(self, inputs: list[Tensor],
+                initial_states: list[tuple[Tensor, Tensor]] | None = None
+                ) -> list[Tensor]:
+        """Run the stack over a sequence.
+
+        Args:
+            inputs: list of ``(B, D)`` tensors, one per timestep.
+            initial_states: optional per-layer ``(h0, c0)``; zeros otherwise.
+
+        Returns:
+            Top-layer hidden states, one ``(B, H)`` tensor per timestep.
+        """
+        if not inputs:
+            raise ConfigurationError("LSTM needs at least one timestep")
+        batch_size = inputs[0].shape[0]
+        if initial_states is None:
+            states = [cell.initial_state(batch_size) for cell in self.cells]
+        else:
+            if len(initial_states) != self.num_layers:
+                raise ConfigurationError(
+                    f"expected {self.num_layers} initial states, "
+                    f"got {len(initial_states)}"
+                )
+            states = list(initial_states)
+
+        sequence = inputs
+        for layer, cell in enumerate(self.cells):
+            h, c = states[layer]
+            outputs: list[Tensor] = []
+            for x in sequence:
+                h, c = cell(x, (h, c))
+                outputs.append(h)
+            if layer < self.num_layers - 1 and self.dropout_probability > 0:
+                outputs = [
+                    dropout(h_t, self.dropout_probability, self._rng,
+                            training=self.training)
+                    for h_t in outputs
+                ]
+            sequence = outputs
+        return sequence
+
+    def forward_stacked(self, inputs: list[Tensor],
+                        initial_states: list[tuple[Tensor, Tensor]] | None = None
+                        ) -> Tensor:
+        """Like :meth:`forward` but stacked into one ``(T, B, H)`` tensor."""
+        return stack(self.forward(inputs, initial_states), axis=0)
+
+
+class BiLSTM(Module):
+    """Bidirectional LSTM: forward and backward passes, concatenated."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator, *,
+                 dropout_probability: float = 0.0) -> None:
+        super().__init__()
+        self.forward_lstm = LSTM(input_size, hidden_size, rng,
+                                 dropout_probability=dropout_probability)
+        self.backward_lstm = LSTM(input_size, hidden_size, rng,
+                                  dropout_probability=dropout_probability)
+        self.hidden_size = hidden_size
+
+    def forward(self, inputs: list[Tensor]) -> list[Tensor]:
+        """Per-timestep ``(B, 2H)`` outputs (forward ++ backward)."""
+        forward_out = self.forward_lstm(inputs)
+        backward_out = self.backward_lstm(list(reversed(inputs)))
+        backward_out = list(reversed(backward_out))
+        return [concat([f, b], axis=1)
+                for f, b in zip(forward_out, backward_out)]
+
+    def final_summary(self, inputs: list[Tensor]) -> Tensor:
+        """Sequence summary: last forward state ++ first backward state.
+
+        This is the standard BiLSTM readout for whole-sequence
+        classification — each direction's state after reading everything.
+        """
+        forward_out = self.forward_lstm(inputs)
+        backward_out = self.backward_lstm(list(reversed(inputs)))
+        return concat([forward_out[-1], backward_out[-1]], axis=1)

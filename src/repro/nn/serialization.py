@@ -1,0 +1,52 @@
+"""Save/load module parameters as ``.npz`` archives.
+
+The cGAN trains once and is reused across experiments (Sec. 9.2 notes that
+RF-Protect needs no per-location training), so persisting trained weights
+matters. Names come from :meth:`Module.named_parameters`, making archives
+stable across processes as long as the architecture matches.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.layers import Module
+
+__all__ = ["save_state", "load_state"]
+
+
+def save_state(module: Module, path: str | os.PathLike) -> None:
+    """Write all named parameters of ``module`` to ``path`` (npz)."""
+    state = {name: tensor.data for name, tensor in module.named_parameters()}
+    if not state:
+        raise ConfigurationError("module has no parameters to save")
+    np.savez(path, **state)
+
+
+def load_state(module: Module, path: str | os.PathLike) -> None:
+    """Load parameters saved by :func:`save_state` into ``module``.
+
+    Raises :class:`ConfigurationError` on any missing, extra, or
+    shape-mismatched entry — a silent partial load would be a debugging
+    trap.
+    """
+    with np.load(path) as archive:
+        saved = {name: archive[name] for name in archive.files}
+    current = dict(module.named_parameters())
+
+    missing = sorted(set(current) - set(saved))
+    extra = sorted(set(saved) - set(current))
+    if missing or extra:
+        raise ConfigurationError(
+            f"state mismatch: missing={missing[:5]}, unexpected={extra[:5]}"
+        )
+    for name, tensor in current.items():
+        if saved[name].shape != tensor.data.shape:
+            raise ConfigurationError(
+                f"shape mismatch for {name}: file has {saved[name].shape}, "
+                f"module has {tensor.data.shape}"
+            )
+        tensor.data = saved[name].astype(np.float64)

@@ -1,0 +1,424 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+A :class:`Tensor` wraps an ``ndarray`` and records the operations applied to
+it; calling :meth:`Tensor.backward` on a scalar result walks the recorded
+graph in reverse topological order and accumulates gradients into every
+tensor created with ``requires_grad=True``. Arithmetic supports full numpy
+broadcasting; gradients of broadcast operands are summed back to the
+operand's shape.
+
+Element-wise and matrix arithmetic live here as methods; structural and
+neural-network operations (concat, stack, embedding, dropout, losses) live
+in :mod:`repro.nn.functional`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import GradientError
+
+__all__ = ["Tensor", "as_tensor", "unbroadcast"]
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` by summing over broadcast axes."""
+    if grad.shape == shape:
+        return grad
+    # Sum away leading axes numpy added during broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size-1 in the original shape.
+    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """An array with an optional gradient and a recorded history."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_op")
+
+    def __init__(self, data, *, requires_grad: bool = False,
+                 _parents: tuple["Tensor", ...] = (), _op: str = "leaf") -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad)
+        self.grad: np.ndarray | None = None
+        self._backward: Callable[[], None] = lambda: None
+        self._parents = _parents
+        self._op = _op
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def __repr__(self) -> str:
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}, op={self._op!r}{flag})"
+
+    def item(self) -> float:
+        """The value of a single-element tensor as a Python float."""
+        if self.data.size != 1:
+            raise GradientError(f"item() needs a 1-element tensor, got {self.shape}")
+        return float(self.data.reshape(()))
+
+    def numpy(self) -> np.ndarray:
+        """A copy of the underlying data (safe to mutate)."""
+        return self.data.copy()
+
+    def detach(self) -> "Tensor":
+        """A view of the same data cut off from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    # ------------------------------------------------------------------
+    # Graph mechanics
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _result(data: np.ndarray, parents: tuple["Tensor", ...],
+                op: str) -> "Tensor":
+        requires = any(p.requires_grad for p in parents)
+        return Tensor(data, requires_grad=requires, _parents=parents, _op=op)
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += grad
+
+    def zero_grad(self) -> None:
+        """Reset this tensor's accumulated gradient."""
+        self.grad = None
+
+    def backward(self, gradient: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        Args:
+            gradient: seed gradient; defaults to 1 and then requires this
+                tensor to be a scalar (the usual loss case).
+        """
+        if gradient is None:
+            if self.data.size != 1:
+                raise GradientError(
+                    "backward() without a gradient argument requires a scalar; "
+                    f"got shape {self.shape}"
+                )
+            gradient = np.ones_like(self.data)
+        else:
+            gradient = np.asarray(gradient, dtype=np.float64)
+            if gradient.shape != self.shape:
+                raise GradientError(
+                    f"seed gradient shape {gradient.shape} != tensor shape {self.shape}"
+                )
+
+        ordered: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                ordered.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate_seed(gradient)
+        for node in reversed(ordered):
+            node._backward()
+
+    def _accumulate_seed(self, gradient: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += gradient
+
+    # ------------------------------------------------------------------
+    # Element-wise arithmetic
+    # ------------------------------------------------------------------
+
+    def __add__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out = Tensor._result(self.data + other.data, (self, other), "add")
+
+        def backward() -> None:
+            if out.grad is None:
+                return
+            self._accumulate(unbroadcast(out.grad, self.shape))
+            other._accumulate(unbroadcast(out.grad, other.shape))
+
+        out._backward = backward
+        return out
+
+    __radd__ = __add__
+
+    def __mul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out = Tensor._result(self.data * other.data, (self, other), "mul")
+
+        def backward() -> None:
+            if out.grad is None:
+                return
+            self._accumulate(unbroadcast(out.grad * other.data, self.shape))
+            other._accumulate(unbroadcast(out.grad * self.data, other.shape))
+
+        out._backward = backward
+        return out
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Tensor":
+        return self * -1.0
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-as_tensor(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return as_tensor(other) + (-self)
+
+    def __truediv__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        return self * other.pow(-1.0)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return as_tensor(other) * self.pow(-1.0)
+
+    def pow(self, exponent: float) -> "Tensor":
+        """Element-wise power with a constant exponent."""
+        if not np.isscalar(exponent):
+            raise GradientError("pow() supports scalar exponents only")
+        out = Tensor._result(self.data ** exponent, (self,), "pow")
+
+        def backward() -> None:
+            if out.grad is None:
+                return
+            self._accumulate(out.grad * exponent * self.data ** (exponent - 1.0))
+
+        out._backward = backward
+        return out
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        return self.pow(exponent)
+
+    def exp(self) -> "Tensor":
+        out = Tensor._result(np.exp(self.data), (self,), "exp")
+
+        def backward() -> None:
+            if out.grad is None:
+                return
+            self._accumulate(out.grad * out.data)
+
+        out._backward = backward
+        return out
+
+    def log(self) -> "Tensor":
+        out = Tensor._result(np.log(self.data), (self,), "log")
+
+        def backward() -> None:
+            if out.grad is None:
+                return
+            self._accumulate(out.grad / self.data)
+
+        out._backward = backward
+        return out
+
+    def tanh(self) -> "Tensor":
+        out = Tensor._result(np.tanh(self.data), (self,), "tanh")
+
+        def backward() -> None:
+            if out.grad is None:
+                return
+            self._accumulate(out.grad * (1.0 - out.data ** 2))
+
+        out._backward = backward
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        # Numerically stable logistic via tanh.
+        out_data = 0.5 * (np.tanh(0.5 * self.data) + 1.0)
+        out = Tensor._result(out_data, (self,), "sigmoid")
+
+        def backward() -> None:
+            if out.grad is None:
+                return
+            self._accumulate(out.grad * out.data * (1.0 - out.data))
+
+        out._backward = backward
+        return out
+
+    def relu(self) -> "Tensor":
+        out = Tensor._result(np.maximum(self.data, 0.0), (self,), "relu")
+
+        def backward() -> None:
+            if out.grad is None:
+                return
+            self._accumulate(out.grad * (self.data > 0.0))
+
+        out._backward = backward
+        return out
+
+    def abs(self) -> "Tensor":
+        out = Tensor._result(np.abs(self.data), (self,), "abs")
+
+        def backward() -> None:
+            if out.grad is None:
+                return
+            self._accumulate(out.grad * np.sign(self.data))
+
+        out._backward = backward
+        return out
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        """Clamp values; gradient is passed through inside the bounds."""
+        if low >= high:
+            raise GradientError(f"clip needs low < high, got [{low}, {high}]")
+        out = Tensor._result(np.clip(self.data, low, high), (self,), "clip")
+
+        def backward() -> None:
+            if out.grad is None:
+                return
+            inside = (self.data >= low) & (self.data <= high)
+            self._accumulate(out.grad * inside)
+
+        out._backward = backward
+        return out
+
+    # ------------------------------------------------------------------
+    # Reductions and shape ops
+    # ------------------------------------------------------------------
+
+    def sum(self, axis: int | tuple[int, ...] | None = None,
+            keepdims: bool = False) -> "Tensor":
+        out = Tensor._result(self.data.sum(axis=axis, keepdims=keepdims),
+                             (self,), "sum")
+
+        def backward() -> None:
+            if out.grad is None:
+                return
+            grad = out.grad
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis)
+            self._accumulate(np.broadcast_to(grad, self.shape).copy())
+
+        out._backward = backward
+        return out
+
+    def mean(self, axis: int | tuple[int, ...] | None = None,
+             keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.shape[a] for a in axis]))
+        else:
+            count = self.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out = Tensor._result(self.data.reshape(shape), (self,), "reshape")
+
+        def backward() -> None:
+            if out.grad is None:
+                return
+            self._accumulate(out.grad.reshape(self.shape))
+
+        out._backward = backward
+        return out
+
+    def transpose(self, axes: Sequence[int] | None = None) -> "Tensor":
+        if axes is None:
+            axes = tuple(reversed(range(self.ndim)))
+        axes = tuple(axes)
+        out = Tensor._result(self.data.transpose(axes), (self,), "transpose")
+        inverse = tuple(np.argsort(axes))
+
+        def backward() -> None:
+            if out.grad is None:
+                return
+            self._accumulate(out.grad.transpose(inverse))
+
+        out._backward = backward
+        return out
+
+    def __getitem__(self, key) -> "Tensor":
+        out = Tensor._result(self.data[key], (self,), "slice")
+
+        def backward() -> None:
+            if out.grad is None:
+                return
+            grad = np.zeros_like(self.data)
+            np.add.at(grad, key, out.grad)
+            self._accumulate(grad)
+
+        out._backward = backward
+        return out
+
+    # ------------------------------------------------------------------
+    # Linear algebra
+    # ------------------------------------------------------------------
+
+    def matmul(self, other: "Tensor") -> "Tensor":
+        other = as_tensor(other)
+        if self.ndim < 1 or other.ndim < 1:
+            raise GradientError("matmul operands must have at least 1 dimension")
+        out = Tensor._result(self.data @ other.data, (self, other), "matmul")
+
+        def backward() -> None:
+            if out.grad is None:
+                return
+            a, b, grad = self.data, other.data, out.grad
+            if a.ndim == 1 and b.ndim == 1:
+                self._accumulate(grad * b)
+                other._accumulate(grad * a)
+            elif b.ndim == 1:
+                self._accumulate(np.expand_dims(grad, -1) * b)
+                other._accumulate(
+                    unbroadcast((np.expand_dims(grad, -1)
+                                 * a).sum(axis=tuple(range(a.ndim - 1))), b.shape)
+                )
+            elif a.ndim == 1:
+                # out = a @ b with a (K,), b (..., K, M), grad (..., M).
+                weighted = b * np.expand_dims(grad, -2)      # (..., K, M)
+                reduce_axes = tuple(range(weighted.ndim - 2)) + (-1,)
+                self._accumulate(weighted.sum(axis=reduce_axes))
+                other._accumulate(unbroadcast(np.expand_dims(a, -1)
+                                              * np.expand_dims(grad, -2), b.shape))
+            else:
+                grad_a = grad @ np.swapaxes(b, -1, -2)
+                grad_b = np.swapaxes(a, -1, -2) @ grad
+                self._accumulate(unbroadcast(grad_a, a.shape))
+                other._accumulate(unbroadcast(grad_b, b.shape))
+
+        out._backward = backward
+        return out
+
+    def __matmul__(self, other) -> "Tensor":
+        return self.matmul(other)
+
+
+def as_tensor(value) -> Tensor:
+    """Coerce a value into a (non-differentiable, if new) tensor."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)

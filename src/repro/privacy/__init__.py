@@ -1,0 +1,28 @@
+"""Information-theoretic privacy analysis (Sec. 7).
+
+Models real occupancy ``X ~ Bin(N, p)`` and phantom occupancy
+``Y ~ Bin(M, q)``; the eavesdropper observes ``Z = X + Y``. The mutual
+information ``I(X; Z)`` quantifies how much true-occupancy information
+leaks through the spoofed observation (Fig. 7), and the inference helpers
+quantify instance-level attacks (occupancy, counting, breath selection).
+"""
+
+from repro.privacy.mutual_information import (
+    OccupancyModel,
+    binomial_pmf,
+    mutual_information_curve,
+)
+from repro.privacy.occupancy import (
+    attacker_count_accuracy,
+    breath_guess_probability,
+    occupancy_detection_rate,
+)
+
+__all__ = [
+    "OccupancyModel",
+    "attacker_count_accuracy",
+    "binomial_pmf",
+    "breath_guess_probability",
+    "mutual_information_curve",
+    "occupancy_detection_rate",
+]

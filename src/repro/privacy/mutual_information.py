@@ -1,0 +1,125 @@
+"""Exact mutual information of the occupancy channel (Eqs. 5-6, Fig. 7).
+
+``X ~ Bin(N, p)`` is true occupancy, ``Y ~ Bin(M, q)`` the RF-Protect
+phantoms, and the adversary sees ``Z = X + Y``. Since ``X`` and ``Y`` are
+independent, ``P(Z=z | X=x) = P(Y = z - x)``, giving a closed-form joint
+distribution and hence an exact ``I(X; Z)`` — no sampling involved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import gammaln
+
+from repro.errors import ConfigurationError
+
+__all__ = ["OccupancyModel", "binomial_pmf", "mutual_information_curve"]
+
+
+def binomial_pmf(n: int, probability: float) -> np.ndarray:
+    """The full Bin(n, probability) pmf as an array of length ``n + 1``.
+
+    Computed in log space (gammaln) so large ``n`` stays stable; the edge
+    probabilities 0 and 1 are handled exactly.
+    """
+    if n < 0:
+        raise ConfigurationError(f"n must be >= 0, got {n}")
+    if not 0.0 <= probability <= 1.0:
+        raise ConfigurationError(f"probability must be in [0, 1], got {probability}")
+    k = np.arange(n + 1)
+    if probability == 0.0:
+        pmf = np.zeros(n + 1)
+        pmf[0] = 1.0
+        return pmf
+    if probability == 1.0:
+        pmf = np.zeros(n + 1)
+        pmf[n] = 1.0
+        return pmf
+    log_coefficients = gammaln(n + 1) - gammaln(k + 1) - gammaln(n - k + 1)
+    log_pmf = (log_coefficients + k * np.log(probability)
+               + (n - k) * np.log1p(-probability))
+    return np.exp(log_pmf)
+
+
+class OccupancyModel:
+    """The X/Y/Z occupancy channel of Sec. 7.
+
+    Args:
+        num_humans: maximum occupancy ``N``.
+        moving_probability: ``p``, chance a human is moving (the paper uses
+            0.2 as "a higher estimate").
+        num_phantoms: maximum phantoms ``M`` the deployment can spoof.
+        phantom_probability: ``q``, chance each phantom is active — the
+            knob RF-Protect controls.
+    """
+
+    def __init__(self, num_humans: int, moving_probability: float,
+                 num_phantoms: int, phantom_probability: float) -> None:
+        if num_humans < 0 or num_phantoms < 0:
+            raise ConfigurationError("N and M must be >= 0")
+        self.num_humans = num_humans
+        self.moving_probability = moving_probability
+        self.num_phantoms = num_phantoms
+        self.phantom_probability = phantom_probability
+        self._pmf_x = binomial_pmf(num_humans, moving_probability)
+        self._pmf_y = binomial_pmf(num_phantoms, phantom_probability)
+
+    def pmf_x(self) -> np.ndarray:
+        """P(X = x) for x in 0..N."""
+        return self._pmf_x.copy()
+
+    def pmf_y(self) -> np.ndarray:
+        """P(Y = y) for y in 0..M."""
+        return self._pmf_y.copy()
+
+    def pmf_z(self) -> np.ndarray:
+        """P(Z = z) for z in 0..N+M (convolution of X and Y)."""
+        return np.convolve(self._pmf_x, self._pmf_y)
+
+    def joint_xz(self) -> np.ndarray:
+        """P(X = x, Z = z) as an ``(N+1, N+M+1)`` matrix.
+
+        ``P(x, z) = P(X = x) * P(Y = z - x)`` with zero outside support.
+        """
+        n, m = self.num_humans, self.num_phantoms
+        joint = np.zeros((n + 1, n + m + 1))
+        for x in range(n + 1):
+            joint[x, x: x + m + 1] = self._pmf_x[x] * self._pmf_y
+        return joint
+
+    def mutual_information(self) -> float:
+        """Exact ``I(X; Z)`` in bits (Eq. 6)."""
+        joint = self.joint_xz()
+        px = self._pmf_x[:, None]
+        pz = self.pmf_z()[None, :]
+        mask = joint > 0
+        ratio = np.ones_like(joint)
+        ratio[mask] = joint[mask] / (px * pz + 1e-300)[mask]
+        terms = np.zeros_like(joint)
+        terms[mask] = joint[mask] * np.log2(ratio[mask])
+        return float(max(terms.sum(), 0.0))
+
+    def entropy_x(self) -> float:
+        """H(X) in bits — the ceiling on extractable information."""
+        pmf = self._pmf_x[self._pmf_x > 0]
+        return float(-(pmf * np.log2(pmf)).sum())
+
+
+def mutual_information_curve(num_humans: int, moving_probability: float,
+                             phantom_counts: np.ndarray,
+                             phantom_probabilities: np.ndarray) -> np.ndarray:
+    """I(X; Z) over a grid of (M, q) values — the data behind Fig. 7.
+
+    Returns an array of shape ``(len(phantom_counts),
+    len(phantom_probabilities))``.
+    """
+    counts = np.asarray(phantom_counts, dtype=int)
+    probabilities = np.asarray(phantom_probabilities, dtype=float)
+    if counts.ndim != 1 or probabilities.ndim != 1:
+        raise ConfigurationError("phantom grids must be 1-D")
+    surface = np.empty((counts.size, probabilities.size))
+    for i, m in enumerate(counts):
+        for j, q in enumerate(probabilities):
+            model = OccupancyModel(num_humans, moving_probability, int(m), float(q))
+            surface[i, j] = model.mutual_information()
+    return surface

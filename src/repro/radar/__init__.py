@@ -1,0 +1,47 @@
+"""FMCW radar simulator: the eavesdropper (and legitimate sensor) substrate.
+
+The paper evaluates RF-Protect against a custom 6--7 GHz FMCW radar with a
+7-antenna array (Sec. 9.1). This package reproduces that radar in software:
+beat-signal synthesis from a scene of reflectors (`frontend`), the paper's
+range/angle processing pipeline with background subtraction (`processing`),
+and the trajectory extraction stage with Kalman tracking (`tracker`).
+"""
+
+from repro.radar.antenna import UniformLinearArray
+from repro.radar.channel import ChannelModel
+from repro.radar.config import RadarConfig
+from repro.radar.frontend import PathComponent, synthesize_frame
+from repro.radar.processing import (
+    RangeAngleProfile,
+    background_subtract,
+    compute_range_angle_map,
+    frame_range_profiles,
+)
+from repro.radar.pulsed import PulsedRadar, PulsedRadarConfig, PulsedSensingResult
+from repro.radar.radar import FmcwRadar, SensingResult
+from repro.radar.scene import Fan, HumanTarget, Scene, StaticReflector
+from repro.radar.tracker import KalmanTracker2D, TrackerConfig, extract_tracks
+
+__all__ = [
+    "ChannelModel",
+    "Fan",
+    "FmcwRadar",
+    "HumanTarget",
+    "KalmanTracker2D",
+    "PathComponent",
+    "PulsedRadar",
+    "PulsedRadarConfig",
+    "PulsedSensingResult",
+    "RadarConfig",
+    "RangeAngleProfile",
+    "Scene",
+    "SensingResult",
+    "StaticReflector",
+    "TrackerConfig",
+    "UniformLinearArray",
+    "background_subtract",
+    "compute_range_angle_map",
+    "extract_tracks",
+    "frame_range_profiles",
+    "synthesize_frame",
+]

@@ -1,0 +1,121 @@
+"""Uniform linear array geometry and beamforming steering vectors (Eq. 2).
+
+The paper's eavesdropper computes the per-angle power
+
+    P(theta) = | sum_k h_k * exp(-j 2 pi k d cos(theta) / lambda) |^2
+
+where ``theta`` is measured from the array axis. This module owns that
+convention: angle-from-axis in (0, pi), with the boresight ("facing")
+direction resolving the front/back ambiguity when converting to Cartesian.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.geometry import unit_vector
+from repro.radar.config import RadarConfig
+from repro.signal.windows import get_window
+
+__all__ = ["UniformLinearArray"]
+
+
+class UniformLinearArray:
+    """Receive-array geometry, angle conventions, and steering vectors."""
+
+    def __init__(self, config: RadarConfig) -> None:
+        self.config = config
+        self.position = np.asarray(config.position, dtype=float)
+        self.axis = unit_vector(config.axis_angle)
+        self.facing = unit_vector(config.facing_angle)
+        self.num_antennas = config.num_antennas
+        self.spacing = config.spacing
+        self.wavelength = config.chirp.wavelength
+
+    def element_positions(self) -> np.ndarray:
+        """Element (x, y) positions, shape ``(K, 2)``, centered on the array."""
+        offsets = (np.arange(self.num_antennas) - (self.num_antennas - 1) / 2.0)
+        return self.position + np.outer(offsets * self.spacing, self.axis)
+
+    def angle_to(self, point: np.ndarray) -> float:
+        """Angle from the array axis to ``point``, in (0, pi)."""
+        rel = np.asarray(point, dtype=float) - self.position
+        distance = np.linalg.norm(rel)
+        if distance == 0:
+            raise ConfigurationError("point coincides with the array center")
+        cos_theta = float(np.clip(rel @ self.axis / distance, -1.0, 1.0))
+        return float(np.arccos(cos_theta))
+
+    def range_to(self, point: np.ndarray) -> float:
+        """Distance from the array center to ``point``, meters."""
+        return float(np.linalg.norm(np.asarray(point, dtype=float) - self.position))
+
+    def polar_of(self, point: np.ndarray) -> tuple[float, float]:
+        """(range, angle-from-axis) of ``point`` in this array's frame."""
+        return self.range_to(point), self.angle_to(point)
+
+    def point_at(self, distance: float, angle: float) -> np.ndarray:
+        """Cartesian point at (``distance``, ``angle``), on the facing side.
+
+        The array angle only determines ``cos(theta)``; the boresight
+        direction picks which of the two mirror solutions is "in the room".
+        """
+        if distance < 0:
+            raise ConfigurationError(f"distance must be >= 0, got {distance}")
+        along_axis = np.cos(angle)
+        # Component perpendicular to the axis, signed toward the facing side.
+        perp = self.facing - (self.facing @ self.axis) * self.axis
+        perp_norm = np.linalg.norm(perp)
+        if perp_norm == 0:
+            raise ConfigurationError("facing direction parallel to array axis")
+        perp = perp / perp_norm
+        off_axis = np.sin(angle)
+        return self.position + distance * (along_axis * self.axis + off_axis * perp)
+
+    def arrival_phases(self, angle: float) -> np.ndarray:
+        """Relative phase of an incoming wave at each element, shape ``(K,)``.
+
+        Element ``k`` sits at offset ``k * d`` along the axis (up to the
+        common centering shift, which is an overall phase); a wave from
+        ``angle`` arrives with phase ``+2 pi k d cos(angle) / lambda``.
+        """
+        k = np.arange(self.num_antennas)
+        return 2.0 * np.pi * k * self.spacing * np.cos(angle) / self.wavelength
+
+    def steering_matrix(self, angles: np.ndarray) -> np.ndarray:
+        """Conjugate steering vectors for Eq. 2, shape ``(num_angles, K)``.
+
+        Row ``i`` dotted with the per-antenna signal vector ``h`` gives the
+        beamformed output toward ``angles[i]``.
+        """
+        grid = np.asarray(angles, dtype=float)
+        k = np.arange(self.num_antennas)
+        phase = 2.0 * np.pi * np.outer(np.cos(grid), k) * self.spacing / self.wavelength
+        return np.exp(-1j * phase)
+
+    def beamform(self, signals: np.ndarray, angles: np.ndarray, *,
+                 taper: str | None = "hamming") -> np.ndarray:
+        """Apply Eq. 2: per-angle power of per-antenna signals.
+
+        Args:
+            signals: complex array ``(K,)`` or ``(K, num_bins)``.
+            angles: beamforming angle grid, radians from the array axis.
+            taper: amplitude window across the antennas; lowers angle
+                sidelobes (at the cost of a wider mainlobe) so a strong
+                target does not masquerade as extra targets. ``None``
+                disables tapering (the textbook Eq. 2).
+
+        Returns:
+            ``(num_angles,)`` or ``(num_angles, num_bins)`` real power.
+        """
+        h = np.asarray(signals)
+        if h.shape[0] != self.num_antennas:
+            raise ConfigurationError(
+                f"expected {self.num_antennas} antenna signals, got {h.shape[0]}"
+            )
+        steering = self.steering_matrix(angles)
+        if taper is not None:
+            weights = get_window(taper, self.num_antennas)
+            steering = steering * (weights / weights.sum() * self.num_antennas)
+        return np.abs(steering @ h) ** 2

@@ -1,0 +1,107 @@
+"""Propagation channel: path amplitudes, thermal noise, and multipath.
+
+Amplitudes follow the monostatic radar equation shape: received amplitude is
+proportional to ``sqrt(rcs) / distance^2`` (power falls as the fourth power
+of range). Environments add dynamic multipath — delayed, attenuated copies
+of moving reflections bouncing off walls and furniture — which is the effect
+the paper blames for the office's larger localization errors (Sec. 11.1).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ChannelModel", "MultipathSpec"]
+
+
+@dataclasses.dataclass(frozen=True)
+class MultipathSpec:
+    """Statistical description of an environment's dynamic multipath.
+
+    Attributes:
+        mean_paths: average number of secondary bounces per moving reflector.
+        excess_distance_mean: mean extra path length of a bounce, meters.
+        excess_distance_std: spread of the extra path length, meters.
+        relative_amplitude: amplitude of a bounce relative to its direct path.
+        angle_spread: std-dev of the bounce's angular offset, radians.
+    """
+
+    mean_paths: float = 1.0
+    excess_distance_mean: float = 0.5
+    excess_distance_std: float = 0.35
+    relative_amplitude: float = 0.25
+    angle_spread: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.mean_paths < 0:
+            raise ConfigurationError("mean_paths must be >= 0")
+        if self.excess_distance_mean <= 0 or self.excess_distance_std < 0:
+            raise ConfigurationError("excess distance parameters must be positive")
+        if not 0 <= self.relative_amplitude < 1:
+            raise ConfigurationError("relative_amplitude must be in [0, 1)")
+        if self.angle_spread < 0:
+            raise ConfigurationError("angle_spread must be >= 0")
+
+
+class ChannelModel:
+    """Amplitude, noise, and multipath generation for the frontend."""
+
+    def __init__(self, *, reference_amplitude: float = 1.0,
+                 reference_distance: float = 1.0,
+                 multipath: MultipathSpec | None = None) -> None:
+        """Create a channel.
+
+        Args:
+            reference_amplitude: received amplitude of a unit-RCS reflector
+                at ``reference_distance`` (sets the absolute signal scale).
+            reference_distance: calibration distance in meters.
+            multipath: dynamic multipath statistics; ``None`` disables it.
+        """
+        if reference_amplitude <= 0 or reference_distance <= 0:
+            raise ConfigurationError("reference amplitude/distance must be positive")
+        self.reference_amplitude = reference_amplitude
+        self.reference_distance = reference_distance
+        self.multipath = multipath
+
+    def path_amplitude(self, distance: float | np.ndarray,
+                       rcs: float | np.ndarray = 1.0) -> float | np.ndarray:
+        """Received amplitude of a reflector at ``distance`` with ``rcs``."""
+        d = np.maximum(np.asarray(distance, dtype=float), 1e-3)
+        scale = self.reference_amplitude * self.reference_distance ** 2
+        return scale * np.sqrt(np.asarray(rcs, dtype=float)) / d ** 2
+
+    def thermal_noise(self, shape: tuple[int, ...], noise_std: float,
+                      rng: np.random.Generator) -> np.ndarray:
+        """Complex circular Gaussian noise of the given shape."""
+        if noise_std < 0:
+            raise ConfigurationError("noise_std must be >= 0")
+        if noise_std == 0:
+            return np.zeros(shape, dtype=complex)
+        scale = noise_std / np.sqrt(2.0)
+        return rng.normal(0.0, scale, shape) + 1j * rng.normal(0.0, scale, shape)
+
+    def sample_multipath(self, distance: float, angle: float, amplitude: float,
+                         rng: np.random.Generator) -> list[tuple[float, float, float]]:
+        """Draw secondary (distance, angle, amplitude) bounces for one path.
+
+        Returns an empty list when multipath is disabled. Bounce count is
+        Poisson with the configured mean; each bounce adds excess distance
+        and a small angular offset, at reduced amplitude.
+        """
+        if self.multipath is None or self.multipath.mean_paths == 0:
+            return []
+        spec = self.multipath
+        count = int(rng.poisson(spec.mean_paths))
+        bounces = []
+        for _ in range(count):
+            excess = abs(rng.normal(spec.excess_distance_mean,
+                                    spec.excess_distance_std))
+            bounce_angle = angle + rng.normal(0.0, spec.angle_spread)
+            bounce_angle = float(np.clip(bounce_angle, 1e-3, np.pi - 1e-3))
+            bounce_amp = amplitude * spec.relative_amplitude * rng.uniform(0.5, 1.0)
+            bounces.append((distance + excess, bounce_angle, bounce_amp))
+        return bounces

@@ -1,0 +1,116 @@
+"""Beat-signal synthesis: from propagation paths to per-antenna ADC samples.
+
+After dechirping, each propagation path contributes one complex tone to the
+beat signal (Sec. 3):
+
+    a * exp(j * (2 pi (f_b + f_off) t + phi_carrier + phi_extra + phi_k))
+
+with ``f_b = sl * tau`` set by the path's geometric distance, ``phi_carrier
+= 2 pi f0 tau`` carrying sub-wavelength motion, ``phi_k`` the per-antenna
+array phase, and — crucially for RF-Protect — an optional *beat frequency
+offset* ``f_off``. Physical scatterers have ``f_off = 0``; the switched
+reflector's square-wave harmonics appear as components with ``f_off = ±n *
+f_switch`` (Sec. 5.1), which is exactly how the tag spoofs distance.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import SignalProcessingError
+from repro.radar.antenna import UniformLinearArray
+from repro.radar.config import RadarConfig
+
+__all__ = ["PathComponent", "synthesize_frame"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PathComponent:
+    """One tone in the dechirped beat signal.
+
+    Attributes:
+        distance: one-way geometric distance radar -> scatter point, meters.
+            Sets both the beat frequency and the carrier phase.
+        angle: azimuth of arrival, radians from the array axis, in (0, pi).
+        amplitude: linear amplitude at the radar.
+        beat_offset_hz: extra beat-frequency shift (0 for physical paths;
+            ``±n * f_switch`` for the tag's switching harmonics).
+        phase_offset: extra carrier phase in radians (breathing spoof,
+            switching-oscillator phase, random scatter phase).
+        extra_delay_s: true additional propagation delay, seconds — the
+            mechanism of a *delay-line* spoofer (Sec. 13's pulsed-radar
+            extension). Unlike ``beat_offset_hz`` it is modulation-agnostic:
+            an FMCW radar sees it as a beat shift ``sl * delay`` plus the
+            carrier rotation, a pulsed radar sees the echo arrive late.
+    """
+
+    distance: float
+    angle: float
+    amplitude: float
+    beat_offset_hz: float = 0.0
+    phase_offset: float = 0.0
+    extra_delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.distance < 0:
+            raise SignalProcessingError(f"path distance must be >= 0, got {self.distance}")
+        if self.amplitude < 0:
+            raise SignalProcessingError(f"path amplitude must be >= 0, got {self.amplitude}")
+        if self.extra_delay_s < 0:
+            raise SignalProcessingError(
+                f"extra delay must be >= 0, got {self.extra_delay_s}"
+            )
+
+
+def apparent_distance(component: PathComponent, config: RadarConfig) -> float:
+    """Distance the radar measures for ``component`` under ``config``."""
+    delay_distance = float(
+        config.chirp.delay_to_distance(component.extra_delay_s)
+    )
+    return float(component.distance + delay_distance
+                 + config.chirp.offset_for_switch_frequency(component.beat_offset_hz))
+
+
+def synthesize_frame(components: list[PathComponent], config: RadarConfig,
+                     array: UniformLinearArray,
+                     rng: np.random.Generator | None = None) -> np.ndarray:
+    """Synthesize one frame of beat samples for all antennas.
+
+    Args:
+        components: propagation paths visible in this chirp.
+        config: radar configuration (chirp, noise, array size).
+        array: array geometry supplying the per-antenna arrival phases.
+        rng: random generator for thermal noise; ``None`` disables noise.
+
+    Returns:
+        Complex array of shape ``(num_antennas, num_samples)``.
+    """
+    chirp = config.chirp
+    t = chirp.sample_times()
+    frame = np.zeros((config.num_antennas, chirp.num_samples), dtype=complex)
+
+    for component in components:
+        # A true extra delay behaves exactly like extra distance for FMCW.
+        effective_distance = component.distance + float(
+            chirp.delay_to_distance(component.extra_delay_s)
+        )
+        beat_frequency = (chirp.distance_to_beat_frequency(effective_distance)
+                          + component.beat_offset_hz)
+        if abs(beat_frequency) >= chirp.sample_rate / 2.0:
+            # Tone beyond Nyquist: a real ADC's anti-alias filter removes it.
+            continue
+        carrier_phase = (chirp.carrier_phase(effective_distance)
+                         + component.phase_offset)
+        tone = component.amplitude * np.exp(
+            1j * (2.0 * np.pi * beat_frequency * t + carrier_phase)
+        )
+        antenna_phases = array.arrival_phases(component.angle)
+        frame += np.exp(1j * antenna_phases)[:, None] * tone[None, :]
+
+    if rng is not None and config.noise_std > 0:
+        scale = config.noise_std / np.sqrt(2.0)
+        frame = frame + (rng.normal(0.0, scale, frame.shape)
+                         + 1j * rng.normal(0.0, scale, frame.shape))
+    return frame

@@ -1,0 +1,220 @@
+"""Pulsed (impulse) radar: the "New Sensor Types" extension of Sec. 13.
+
+The paper notes that pulsed radars are "prone to similar defenses", but
+that distance spoofing "needs to be achieved through other mechanisms (e.g.
+by adding a set of delay lines and switching between them)". This module
+provides the pulsed-radar substrate to test that claim:
+
+- the radar transmits a short Gaussian pulse, receives the superposition of
+  delayed echoes per antenna, matched-filters against the pulse, and reuses
+  the *same* downstream pipeline as the FMCW radar (background subtraction,
+  Eq. 2 beamforming, range-angle maps, Kalman tracking);
+- a :class:`~repro.radar.frontend.PathComponent`'s ``extra_delay_s`` delays
+  its echo — the delay-line spoofing mechanism;
+- a component's ``beat_offset_hz`` (the FMCW switching trick) does NOT move
+  a pulsed echo: on/off switching at kHz rates only gates whole pulses, so
+  the line appears at its *physical* distance at duty-cycle amplitude. The
+  reproduction therefore demonstrates the paper's implicit negative result:
+  the FMCW tag does not spoof distance against a pulsed radar.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro import constants
+from repro.errors import ConfigurationError, TrackingError
+from repro.radar.antenna import UniformLinearArray
+from repro.radar.config import RadarConfig
+from repro.radar.frontend import PathComponent
+from repro.radar.processing import RangeAngleProfile
+from repro.radar.scene import Scene
+from repro.radar.tracker import Track, TrackerConfig, extract_tracks
+from repro.types import Trajectory
+
+__all__ = ["PulsedRadar", "PulsedRadarConfig", "PulsedSensingResult"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PulsedRadarConfig:
+    """Configuration of the pulsed radar.
+
+    Attributes:
+        center_frequency: carrier, Hz (sets the array wavelength).
+        bandwidth: pulse bandwidth, Hz — range resolution is ``C / 2B``.
+        sample_rate: fast-time ADC rate, Hz (>= 2x bandwidth).
+        max_range: largest observed range, meters (sets the window length).
+        num_antennas / antenna_spacing / position / axis_angle /
+        facing_angle / frame_rate / noise_std / angle_grid_points /
+        min_range: as in :class:`~repro.radar.config.RadarConfig`.
+    """
+
+    center_frequency: float = 6.5e9
+    bandwidth: float = 1.0e9
+    sample_rate: float = 4.0e9
+    max_range: float = 20.0
+    num_antennas: int = constants.RADAR_NUM_ANTENNAS
+    antenna_spacing: float | None = None
+    position: tuple[float, float] = (0.0, 0.0)
+    axis_angle: float = 0.0
+    facing_angle: float = np.pi / 2.0
+    frame_rate: float = 10.0
+    noise_std: float = 5e-4
+    angle_grid_points: int = 181
+    min_range: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.center_frequency <= 0 or self.bandwidth <= 0:
+            raise ConfigurationError("frequencies must be positive")
+        if self.sample_rate < 2.0 * self.bandwidth:
+            raise ConfigurationError(
+                "sample_rate must be at least twice the pulse bandwidth"
+            )
+        if self.max_range <= self.min_range or self.min_range < 0:
+            raise ConfigurationError("need 0 <= min_range < max_range")
+        if self.num_antennas < 2:
+            raise ConfigurationError("angle estimation needs >= 2 antennas")
+        if self.frame_rate <= 0 or self.noise_std < 0:
+            raise ConfigurationError("bad frame_rate or noise_std")
+
+    @property
+    def wavelength(self) -> float:
+        return constants.SPEED_OF_LIGHT / self.center_frequency
+
+    @property
+    def spacing(self) -> float:
+        if self.antenna_spacing is not None:
+            return self.antenna_spacing
+        return self.wavelength / 2.0
+
+    @property
+    def range_resolution(self) -> float:
+        return constants.SPEED_OF_LIGHT / (2.0 * self.bandwidth)
+
+    @property
+    def frame_interval(self) -> float:
+        return 1.0 / self.frame_rate
+
+    @property
+    def num_samples(self) -> int:
+        """Fast-time samples covering the round trip to ``max_range``."""
+        window = 2.0 * self.max_range / constants.SPEED_OF_LIGHT
+        return int(np.ceil(window * self.sample_rate)) + 1
+
+    def pulse_sigma(self) -> float:
+        """Gaussian pulse width (seconds) matching the bandwidth."""
+        return 1.0 / (2.0 * np.pi * self.bandwidth / 2.355)  # FWHM ~ B
+
+    def angle_grid(self) -> np.ndarray:
+        return np.linspace(0.0, np.pi, self.angle_grid_points + 2)[1:-1]
+
+    def _geometry_config(self) -> RadarConfig:
+        """A RadarConfig carrying just the fields the array geometry needs."""
+        return RadarConfig(
+            num_antennas=self.num_antennas,
+            antenna_spacing=self.spacing,
+            position=self.position,
+            axis_angle=self.axis_angle,
+            facing_angle=self.facing_angle,
+            frame_rate=self.frame_rate,
+            noise_std=self.noise_std,
+            angle_grid_points=self.angle_grid_points,
+            min_range=self.min_range,
+        )
+
+
+@dataclasses.dataclass
+class PulsedSensingResult:
+    """Frames captured by a pulsed radar (same downstream API as FMCW)."""
+
+    times: np.ndarray
+    profiles: list[RangeAngleProfile]
+    config: PulsedRadarConfig
+    array: UniformLinearArray
+
+    def tracks(self, tracker_config: TrackerConfig | None = None) -> list[Track]:
+        return extract_tracks(self.profiles, self.array, tracker_config)
+
+    def trajectories(self, tracker_config: TrackerConfig | None = None
+                     ) -> list[Trajectory]:
+        return [t.to_trajectory() for t in self.tracks(tracker_config)]
+
+
+class PulsedRadar:
+    """A pulsed radar sharing the scene/entity/tracking machinery."""
+
+    def __init__(self, config: PulsedRadarConfig | None = None) -> None:
+        self.config = config if config is not None else PulsedRadarConfig()
+        self.array = UniformLinearArray(self.config._geometry_config())
+
+    def _range_axis(self) -> np.ndarray:
+        delays = np.arange(self.config.num_samples) / self.config.sample_rate
+        return constants.SPEED_OF_LIGHT * delays / 2.0
+
+    def _echo_profile(self, components: list[PathComponent],
+                      rng: np.random.Generator | None) -> np.ndarray:
+        """Matched-filtered echoes per antenna, ``(K, num_samples)``.
+
+        Each component contributes a Gaussian pulse (the matched-filter
+        output of the real pulse) at its round-trip delay, carrying the
+        carrier phase ``2 pi f_c tau`` and the per-antenna array phase.
+        """
+        config = self.config
+        delays = np.arange(config.num_samples) / config.sample_rate
+        sigma = config.pulse_sigma()
+        profile = np.zeros((config.num_antennas, config.num_samples),
+                           dtype=complex)
+        for component in components:
+            distance = float(component.distance)
+            amplitude = component.amplitude
+            if component.beat_offset_hz != 0.0:
+                # kHz on/off switching cannot shift a ~ns pulse in delay; it
+                # only gates pulses, scaling the echo by the duty cycle. The
+                # echo stays at the PHYSICAL distance — the FMCW distance
+                # trick is inert against pulsed radars.
+                amplitude *= 0.5
+            tau = (2.0 * distance / constants.SPEED_OF_LIGHT
+                   + component.extra_delay_s)
+            envelope = np.exp(-0.5 * ((delays - tau) / sigma) ** 2)
+            phase = (2.0 * np.pi * config.center_frequency * tau
+                     + component.phase_offset)
+            echo = amplitude * envelope * np.exp(1j * phase)
+            antenna_phase = self.array.arrival_phases(component.angle)
+            profile += np.exp(1j * antenna_phase)[:, None] * echo[None, :]
+        if rng is not None and config.noise_std > 0:
+            scale = config.noise_std / np.sqrt(2.0)
+            profile = profile + (rng.normal(0.0, scale, profile.shape)
+                                 + 1j * rng.normal(0.0, scale, profile.shape))
+        return profile
+
+    def sense(self, scene: Scene, duration: float, *,
+              rng: np.random.Generator | None = None,
+              start_time: float = 0.0) -> PulsedSensingResult:
+        """Capture ``duration`` seconds of pulsed frames from ``scene``."""
+        if duration <= 0:
+            raise TrackingError(f"duration must be positive, got {duration}")
+        if rng is None:
+            rng = np.random.default_rng(0)
+        config = self.config
+        num_frames = max(int(round(duration * config.frame_rate)), 2)
+        times = start_time + np.arange(num_frames) * config.frame_interval
+        ranges = self._range_axis()
+        keep = (ranges >= config.min_range) & (ranges <= config.max_range)
+        angles = config.angle_grid()
+
+        profiles: list[RangeAngleProfile] = []
+        previous = None
+        for t in times:
+            components = scene.path_components(float(t), self.array, rng)
+            current = self._echo_profile(components, rng)
+            subtracted = (np.zeros_like(current) if previous is None
+                          else current - previous)
+            previous = current
+            power = self.array.beamform(subtracted[:, keep], angles)
+            profiles.append(RangeAngleProfile(power=power.T,
+                                              ranges=ranges[keep],
+                                              angles=angles, time=float(t)))
+        return PulsedSensingResult(times=times, profiles=profiles,
+                                   config=config, array=self.array)

@@ -1,0 +1,154 @@
+"""`FmcwRadar`: the end-to-end sensing facade.
+
+Ties together frontend synthesis, the processing pipeline, and the tracker:
+point it at a :class:`~repro.radar.scene.Scene`, get back range-angle
+profiles, extracted trajectories, and per-bin phase series (for breathing).
+This is both the eavesdropper and the legitimate sensor of the paper — the
+difference between them is purely whether they receive the tag's
+side-channel report (Sec. 11.3).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import TrackingError
+from repro.radar.antenna import UniformLinearArray
+from repro.radar.config import RadarConfig
+from repro.radar.frontend import synthesize_frame
+from repro.radar.processing import (
+    RangeAngleProfile,
+    background_subtract,
+    compute_range_angle_map,
+    frame_range_profiles,
+)
+from repro.radar.scene import Scene
+from repro.radar.tracker import Track, TrackerConfig, extract_tracks
+from repro.signal.phase import extract_phase
+from repro.signal.spectral import range_axis
+from repro.types import Trajectory
+
+__all__ = ["FmcwRadar", "SensingResult"]
+
+
+@dataclasses.dataclass
+class SensingResult:
+    """Everything a radar captured over one sensing session.
+
+    Attributes:
+        times: frame capture times, seconds.
+        profiles: background-subtracted range-angle maps, one per frame.
+        raw_profiles: complex per-antenna range profiles *before*
+            subtraction, shape ``(num_frames, K, num_bins)`` — needed for
+            phase/breathing analysis where static targets matter.
+        config: radar configuration used.
+        array: array geometry used.
+    """
+
+    times: np.ndarray
+    profiles: list[RangeAngleProfile]
+    raw_profiles: np.ndarray
+    config: RadarConfig
+    array: UniformLinearArray
+
+    @property
+    def frame_dt(self) -> float:
+        return self.config.frame_interval
+
+    def range_bins(self) -> np.ndarray:
+        """Distance of each raw-profile range bin, meters."""
+        return range_axis(self.config.chirp, zero_pad_factor=2)
+
+    def tracks(self, tracker_config: TrackerConfig | None = None) -> list[Track]:
+        """Run trajectory extraction on the captured profiles."""
+        return extract_tracks(self.profiles, self.array, tracker_config)
+
+    def trajectories(self, tracker_config: TrackerConfig | None = None,
+                     *, smooth: bool = True) -> list[Trajectory]:
+        """Extracted trajectories, longest first."""
+        return [t.to_trajectory(smooth=smooth)
+                for t in self.tracks(tracker_config)]
+
+    def best_trajectory(self,
+                        tracker_config: TrackerConfig | None = None) -> Trajectory:
+        """The longest extracted trajectory; raises if nothing was tracked."""
+        trajectories = self.trajectories(tracker_config)
+        if not trajectories:
+            raise TrackingError("no target was tracked in this session")
+        return trajectories[0]
+
+    def phase_series(self, distance: float, *, antenna: int = 0) -> np.ndarray:
+        """Beat-tone phase across frames at the bin nearest ``distance``.
+
+        This is the observable that carries breathing (Sec. 11.4).
+        """
+        bins = self.range_bins()
+        bin_index = int(np.argmin(np.abs(bins - distance)))
+        return extract_phase(self.raw_profiles[:, antenna, :], bin_index)
+
+
+class FmcwRadar:
+    """A simulated FMCW radar deployed at a fixed position and orientation."""
+
+    def __init__(self, config: RadarConfig | None = None) -> None:
+        self.config = config if config is not None else RadarConfig()
+        self.array = UniformLinearArray(self.config)
+
+    def sense(self, scene: Scene, duration: float, *,
+              rng: np.random.Generator | None = None,
+              start_time: float = 0.0,
+              max_range: float | None = None) -> SensingResult:
+        """Capture ``duration`` seconds of frames from ``scene``.
+
+        Args:
+            scene: the room and its entities (humans, clutter, tags).
+            duration: sensing span in seconds.
+            rng: randomness source for noise/multipath; a fixed default seed
+                is used when omitted so runs are reproducible.
+            start_time: scene time of the first frame.
+            max_range: optional crop of the range axis (defaults to the
+                room's diagonal — reflections can't be farther than that).
+        """
+        if duration <= 0:
+            raise TrackingError(f"duration must be positive, got {duration}")
+        if rng is None:
+            rng = np.random.default_rng(0)
+        if max_range is None:
+            # An eavesdropper targeting a known building crops the range
+            # axis at the far walls; anything beyond is another apartment.
+            corners = np.array([
+                [scene.room.x_min, scene.room.y_min],
+                [scene.room.x_min, scene.room.y_max],
+                [scene.room.x_max, scene.room.y_min],
+                [scene.room.x_max, scene.room.y_max],
+            ])
+            max_range = float(
+                np.linalg.norm(corners - self.array.position, axis=1).max()
+            ) + 0.5
+
+        num_frames = max(int(round(duration * self.config.frame_rate)), 2)
+        times = start_time + np.arange(num_frames) * self.config.frame_interval
+
+        profiles: list[RangeAngleProfile] = []
+        raw_profiles: list[np.ndarray] = []
+        previous = None
+        for t in times:
+            components = scene.path_components(float(t), self.array, rng)
+            frame = synthesize_frame(components, self.config, self.array, rng)
+            current = frame_range_profiles(frame, self.config)
+            raw_profiles.append(current)
+            subtracted = background_subtract(current, previous)
+            previous = current
+            profiles.append(
+                compute_range_angle_map(subtracted, self.config, self.array,
+                                        float(t), max_range=max_range)
+            )
+        return SensingResult(
+            times=times,
+            profiles=profiles,
+            raw_profiles=np.stack(raw_profiles),
+            config=self.config,
+            array=self.array,
+        )

@@ -1,0 +1,223 @@
+"""Scene graph: the room, its humans, static clutter, and deployed tags.
+
+Every entity implements :class:`SceneEntity` — given a frame time it yields
+the :class:`~repro.radar.frontend.PathComponent` tones it contributes to the
+dechirped signal. The RF-Protect tag (`repro.reflector.tag`) implements the
+same protocol, so the radar cannot tell humans and phantoms apart by
+construction, which is the point of the paper.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.errors import SceneError
+from repro.geometry import Rectangle
+from repro.radar.antenna import UniformLinearArray
+from repro.radar.channel import ChannelModel
+from repro.radar.frontend import PathComponent
+from repro.types import Trajectory
+
+__all__ = ["BreathingSpec", "Fan", "HumanTarget", "Scene", "SceneEntity", "StaticReflector"]
+
+_MIN_ANGLE = 1e-3
+
+
+@runtime_checkable
+class SceneEntity(Protocol):
+    """Anything that reflects radar energy at a given frame time."""
+
+    def path_components(self, t: float, array: UniformLinearArray,
+                        channel: ChannelModel,
+                        rng: np.random.Generator) -> list[PathComponent]:
+        """Paths this entity contributes to the frame captured at time ``t``."""
+        ...
+
+
+@dataclasses.dataclass(frozen=True)
+class BreathingSpec:
+    """Chest-motion parameters of a (real) breathing human.
+
+    Attributes:
+        amplitude: peak chest displacement in meters (~5 mm typical).
+        frequency: breaths per second (~0.25 Hz = 15 breaths/min).
+        phase: initial breathing phase in radians.
+    """
+
+    amplitude: float = 0.005
+    frequency: float = 0.25
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.amplitude < 0:
+            raise SceneError("breathing amplitude must be >= 0")
+        if self.frequency <= 0:
+            raise SceneError("breathing frequency must be positive")
+
+    def displacement(self, t: float) -> float:
+        """Radial chest displacement at time ``t``, meters."""
+        return self.amplitude * np.sin(2.0 * np.pi * self.frequency * t + self.phase)
+
+
+class HumanTarget:
+    """A walking (or stationary) human reflector.
+
+    The body is modelled as a dominant scatter point following ``trajectory``
+    with an RCS that fluctuates frame to frame (posture, limbs), breathing
+    chest motion added radially, and environment-dependent dynamic multipath
+    drawn from the channel.
+    """
+
+    def __init__(self, trajectory: Trajectory, *, rcs: float = 1.0,
+                 rcs_fluctuation: float = 0.2,
+                 breathing: BreathingSpec | None = None) -> None:
+        if rcs <= 0:
+            raise SceneError(f"human rcs must be positive, got {rcs}")
+        if not 0 <= rcs_fluctuation < 1:
+            raise SceneError("rcs_fluctuation must be in [0, 1)")
+        self.trajectory = trajectory
+        self.rcs = rcs
+        self.rcs_fluctuation = rcs_fluctuation
+        self.breathing = breathing if breathing is not None else BreathingSpec()
+
+    def position_at(self, t: float) -> np.ndarray:
+        """Body position at time ``t`` (trajectory clamped at its ends)."""
+        return self.trajectory.position_at(t)
+
+    def path_components(self, t: float, array: UniformLinearArray,
+                        channel: ChannelModel,
+                        rng: np.random.Generator) -> list[PathComponent]:
+        position = self.position_at(t)
+        distance, angle = array.polar_of(position)
+        angle = float(np.clip(angle, _MIN_ANGLE, np.pi - _MIN_ANGLE))
+        distance += self.breathing.displacement(t)
+        rcs = self.rcs * (1.0 + self.rcs_fluctuation * rng.standard_normal())
+        rcs = max(rcs, 0.05 * self.rcs)
+        amplitude = float(channel.path_amplitude(distance, rcs))
+        components = [PathComponent(distance, angle, amplitude)]
+        for bounce_distance, bounce_angle, bounce_amp in channel.sample_multipath(
+                distance, angle, amplitude, rng):
+            components.append(
+                PathComponent(bounce_distance, bounce_angle, bounce_amp,
+                              phase_offset=float(rng.uniform(0.0, 2.0 * np.pi)))
+            )
+        return components
+
+
+class StaticReflector:
+    """Furniture, walls, appliances: constant reflections.
+
+    These produce identical tones in every frame, so background subtraction
+    (Sec. 3, "Addressing Static Reflectors") removes them exactly; they are
+    included to make that stage do real work.
+    """
+
+    def __init__(self, position: tuple[float, float] | np.ndarray, *,
+                 rcs: float = 1.0) -> None:
+        if rcs <= 0:
+            raise SceneError(f"static rcs must be positive, got {rcs}")
+        self.position = np.asarray(position, dtype=float)
+        if self.position.shape != (2,):
+            raise SceneError("static reflector position must be (x, y)")
+        self.rcs = rcs
+
+    def path_components(self, t: float, array: UniformLinearArray,
+                        channel: ChannelModel,
+                        rng: np.random.Generator) -> list[PathComponent]:
+        distance, angle = array.polar_of(self.position)
+        angle = float(np.clip(angle, _MIN_ANGLE, np.pi - _MIN_ANGLE))
+        amplitude = float(channel.path_amplitude(distance, self.rcs))
+        return [PathComponent(distance, angle, amplitude)]
+
+
+class Fan:
+    """A ceiling/desk fan: a small reflector in fast periodic motion.
+
+    The threat model's canonical non-human mover (Sec. 2): blades sweep a
+    small circle at a fixed rotation rate, producing a perfectly periodic
+    track the eavesdropper's periodicity filter
+    (:func:`repro.eavesdropper.filter_periodic_tracks`) must reject while
+    keeping humans and GAN ghosts.
+    """
+
+    def __init__(self, position: tuple[float, float] | np.ndarray, *,
+                 blade_radius: float = 0.35, rotation_hz: float = 1.2,
+                 rcs: float = 0.4) -> None:
+        if blade_radius <= 0:
+            raise SceneError("blade_radius must be positive")
+        if rotation_hz <= 0:
+            raise SceneError("rotation_hz must be positive")
+        if rcs <= 0:
+            raise SceneError("rcs must be positive")
+        self.position = np.asarray(position, dtype=float)
+        if self.position.shape != (2,):
+            raise SceneError("fan position must be (x, y)")
+        self.blade_radius = blade_radius
+        self.rotation_hz = rotation_hz
+        self.rcs = rcs
+
+    def blade_position(self, t: float) -> np.ndarray:
+        """Dominant blade-reflection point at time ``t``."""
+        phase = 2.0 * np.pi * self.rotation_hz * t
+        return self.position + self.blade_radius * np.array(
+            [np.cos(phase), np.sin(phase)]
+        )
+
+    def path_components(self, t: float, array: UniformLinearArray,
+                        channel: ChannelModel,
+                        rng: np.random.Generator) -> list[PathComponent]:
+        blade = self.blade_position(t)
+        distance, angle = array.polar_of(blade)
+        angle = float(np.clip(angle, _MIN_ANGLE, np.pi - _MIN_ANGLE))
+        amplitude = float(channel.path_amplitude(distance, self.rcs))
+        return [PathComponent(distance, angle, amplitude)]
+
+
+class Scene:
+    """A room with its reflecting entities."""
+
+    def __init__(self, room: Rectangle,
+                 channel: ChannelModel | None = None) -> None:
+        self.room = room
+        self.channel = channel if channel is not None else ChannelModel()
+        self.entities: list[SceneEntity] = []
+
+    def add(self, entity: SceneEntity) -> None:
+        """Register any entity implementing the :class:`SceneEntity` protocol."""
+        if not isinstance(entity, SceneEntity):
+            raise SceneError(
+                f"{type(entity).__name__} does not implement path_components()"
+            )
+        self.entities.append(entity)
+
+    def add_human(self, trajectory: Trajectory, **kwargs) -> HumanTarget:
+        """Add a human; rejects trajectories that leave the room."""
+        if not self.room.contains_all(trajectory.points):
+            raise SceneError("human trajectory leaves the room footprint")
+        human = HumanTarget(trajectory, **kwargs)
+        self.entities.append(human)
+        return human
+
+    def add_static(self, position: tuple[float, float], *,
+                   rcs: float = 1.0) -> StaticReflector:
+        """Add a piece of static clutter; rejects positions outside the room."""
+        if not self.room.contains(position):
+            raise SceneError(f"static reflector at {position} is outside the room")
+        static = StaticReflector(position, rcs=rcs)
+        self.entities.append(static)
+        return static
+
+    def humans(self) -> list[HumanTarget]:
+        """All human entities currently in the scene."""
+        return [e for e in self.entities if isinstance(e, HumanTarget)]
+
+    def path_components(self, t: float, array: UniformLinearArray,
+                        rng: np.random.Generator) -> list[PathComponent]:
+        """All paths visible at frame time ``t``."""
+        components: list[PathComponent] = []
+        for entity in self.entities:
+            components.extend(entity.path_components(t, array, self.channel, rng))
+        return components

@@ -1,0 +1,337 @@
+"""Trajectory extraction: peaks -> tracks via gating + Kalman filtering.
+
+Implements the eavesdropper algorithms of Sec. 2/9.1: per-frame peak
+detection on the range-angle map, nearest-neighbour association into tracks,
+a constant-velocity Kalman filter per track, and the time smoothing / peak
+rejection the paper applies before reporting trajectories.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import ConfigurationError, TrackingError
+from repro.radar.antenna import UniformLinearArray
+from repro.radar.processing import RangeAngleProfile
+from repro.signal.filtering import smooth_trajectory
+from repro.types import Trajectory
+
+__all__ = ["KalmanTracker2D", "Track", "TrackerConfig", "extract_tracks"]
+
+
+class KalmanTracker2D:
+    """Constant-velocity Kalman filter over state ``[x, y, vx, vy]``."""
+
+    def __init__(self, initial_position: np.ndarray, *,
+                 position_variance: float = 0.25,
+                 velocity_variance: float = 1.0,
+                 process_noise: float = 0.5,
+                 measurement_noise: float = 0.05) -> None:
+        position = np.asarray(initial_position, dtype=float)
+        if position.shape != (2,):
+            raise ConfigurationError("initial position must be (x, y)")
+        if min(position_variance, velocity_variance,
+               process_noise, measurement_noise) <= 0:
+            raise ConfigurationError("Kalman variances must be positive")
+        self.state = np.array([position[0], position[1], 0.0, 0.0])
+        self.covariance = np.diag([position_variance, position_variance,
+                                   velocity_variance, velocity_variance])
+        self.process_noise = process_noise
+        self.measurement_noise = measurement_noise
+
+    @property
+    def position(self) -> np.ndarray:
+        """Current position estimate (x, y)."""
+        return self.state[:2].copy()
+
+    @property
+    def velocity(self) -> np.ndarray:
+        """Current velocity estimate (vx, vy)."""
+        return self.state[2:].copy()
+
+    def predict(self, dt: float) -> np.ndarray:
+        """Advance the state by ``dt`` seconds; returns the predicted position."""
+        if dt <= 0:
+            raise ConfigurationError(f"dt must be positive, got {dt}")
+        transition = np.eye(4)
+        transition[0, 2] = dt
+        transition[1, 3] = dt
+        # White-acceleration process noise (discretized).
+        q = self.process_noise
+        dt2, dt3, dt4 = dt ** 2, dt ** 3, dt ** 4
+        noise = q * np.array([
+            [dt4 / 4, 0, dt3 / 2, 0],
+            [0, dt4 / 4, 0, dt3 / 2],
+            [dt3 / 2, 0, dt2, 0],
+            [0, dt3 / 2, 0, dt2],
+        ])
+        self.state = transition @ self.state
+        self.covariance = transition @ self.covariance @ transition.T + noise
+        return self.position
+
+    def update(self, measurement: np.ndarray) -> np.ndarray:
+        """Fuse a position measurement; returns the corrected position."""
+        z = np.asarray(measurement, dtype=float)
+        if z.shape != (2,):
+            raise ConfigurationError("measurement must be (x, y)")
+        observation = np.zeros((2, 4))
+        observation[0, 0] = 1.0
+        observation[1, 1] = 1.0
+        innovation = z - observation @ self.state
+        innovation_cov = (observation @ self.covariance @ observation.T
+                          + self.measurement_noise * np.eye(2))
+        gain = self.covariance @ observation.T @ np.linalg.inv(innovation_cov)
+        self.state = self.state + gain @ innovation
+        self.covariance = (np.eye(4) - gain @ observation) @ self.covariance
+        return self.position
+
+
+@dataclasses.dataclass(frozen=True)
+class TrackerConfig:
+    """Tuning of the track-extraction stage.
+
+    Attributes:
+        threshold_factor: detection threshold as a multiple of the map's
+            median power (a robust noise-floor proxy).
+        gate_distance: max association distance between a track's prediction
+            and a detection, meters.
+        max_misses: consecutive frames a track survives without a detection.
+        min_track_points: tracks shorter than this are discarded as noise.
+        max_targets: peaks kept per frame.
+        smoothing_window: moving-window size of the final smoothing pass.
+        max_jump: outlier-rejection jump bound for the smoother, meters.
+    """
+
+    threshold_factor: float = 25.0
+    gate_distance: float = 1.0
+    max_misses: int = 5
+    min_track_points: int = 8
+    max_targets: int = 6
+    smoothing_window: int = 7
+    max_jump: float = 1.0
+    min_hit_ratio: float = 0.55
+    min_relative_power_db: float = 18.0
+    cluster_radius: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.threshold_factor <= 0:
+            raise ConfigurationError("threshold_factor must be positive")
+        if self.gate_distance <= 0:
+            raise ConfigurationError("gate_distance must be positive")
+        if self.max_misses < 0:
+            raise ConfigurationError("max_misses must be >= 0")
+        if self.min_track_points < 2:
+            raise ConfigurationError("min_track_points must be >= 2")
+        if self.max_targets < 1:
+            raise ConfigurationError("max_targets must be >= 1")
+        if not 0 < self.min_hit_ratio <= 1:
+            raise ConfigurationError("min_hit_ratio must be in (0, 1]")
+        if self.min_relative_power_db <= 0:
+            raise ConfigurationError("min_relative_power_db must be positive")
+        if self.cluster_radius < 0:
+            raise ConfigurationError("cluster_radius must be >= 0")
+
+
+class Track:
+    """One tracked target: timestamps, positions, and detection powers."""
+
+    def __init__(self, time: float, position: np.ndarray,
+                 config: TrackerConfig, power: float = 0.0) -> None:
+        self._config = config
+        self.times: list[float] = [time]
+        self.raw_positions: list[np.ndarray] = [np.asarray(position, dtype=float)]
+        self.powers: list[float] = [power]
+        self.filter = KalmanTracker2D(position)
+        self.misses = 0
+        self._last_time = time
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def predict(self, time: float) -> np.ndarray:
+        """Predicted position at ``time`` without consuming the prediction."""
+        dt = max(time - self._last_time, 1e-6)
+        transition = np.eye(4)
+        transition[0, 2] = dt
+        transition[1, 3] = dt
+        return (transition @ self.filter.state)[:2]
+
+    def add(self, time: float, position: np.ndarray, power: float = 0.0) -> None:
+        """Fuse a new detection into the track."""
+        dt = max(time - self._last_time, 1e-6)
+        self.filter.predict(dt)
+        filtered = self.filter.update(np.asarray(position, dtype=float))
+        self.times.append(time)
+        self.raw_positions.append(filtered)
+        self.powers.append(power)
+        self.misses = 0
+        self._last_time = time
+
+    @property
+    def total_power(self) -> float:
+        """Accumulated detection power — the track-ranking score.
+
+        Beamforming-sidelobe ghost tracks shadow a real target frame for
+        frame, so they can match it in *length*; they cannot match it in
+        power. Ranking by accumulated power keeps the real target first.
+        """
+        return float(sum(self.powers))
+
+    def mark_missed(self) -> None:
+        self.misses += 1
+
+    @property
+    def alive(self) -> bool:
+        return self.misses <= self._config.max_misses
+
+    def to_trajectory(self, *, smooth: bool = True) -> Trajectory:
+        """Resample to uniform dt and apply the paper's smoothing stage."""
+        if len(self) < 2:
+            raise TrackingError("track too short to form a trajectory")
+        times = np.asarray(self.times)
+        positions = np.vstack(self.raw_positions)
+        dt = float(np.median(np.diff(times)))
+        uniform_times = np.arange(times[0], times[-1] + dt / 2, dt)
+        xs = np.interp(uniform_times, times, positions[:, 0])
+        ys = np.interp(uniform_times, times, positions[:, 1])
+        points = np.column_stack([xs, ys])
+        if smooth and points.shape[0] >= 3:
+            points = smooth_trajectory(points,
+                                       window=self._config.smoothing_window,
+                                       max_jump=self._config.max_jump)
+        return Trajectory(points, dt=dt)
+
+
+def extract_tracks(profiles: list[RangeAngleProfile],
+                   array: UniformLinearArray,
+                   config: TrackerConfig | None = None) -> list[Track]:
+    """Run the full association + filtering pipeline over a frame sequence.
+
+    Returns all tracks with at least ``min_track_points`` detections,
+    longest first.
+    """
+    if config is None:
+        config = TrackerConfig()
+    active: list[Track] = []
+    finished: list[Track] = []
+
+    for profile in profiles:
+        floor = float(np.median(profile.power))
+        threshold = config.threshold_factor * max(floor, 1e-30)
+        peaks = profile.detect(threshold=threshold, max_peaks=config.max_targets)
+        detections = _cluster_detections(
+            [(profile.peak_position(p, array), p.power) for p in peaks],
+            config.cluster_radius,
+        )
+
+        # Greedy nearest-neighbour association, closest pairs first.
+        pairs: list[tuple[float, int, int]] = []
+        for ti, track in enumerate(active):
+            predicted = track.predict(profile.time)
+            for di, (position, _power) in enumerate(detections):
+                distance = float(np.linalg.norm(position - predicted))
+                if distance <= config.gate_distance:
+                    pairs.append((distance, ti, di))
+        pairs.sort(key=lambda item: item[0])
+        used_tracks: set[int] = set()
+        used_dets: set[int] = set()
+        for distance, ti, di in pairs:
+            if ti in used_tracks or di in used_dets:
+                continue
+            position, power = detections[di]
+            active[ti].add(profile.time, position, power)
+            used_tracks.add(ti)
+            used_dets.add(di)
+
+        for ti, track in enumerate(active):
+            if ti not in used_tracks:
+                track.mark_missed()
+        for di, (position, power) in enumerate(detections):
+            if di not in used_dets:
+                active.append(Track(profile.time, position, config, power))
+
+        still_active = []
+        for track in active:
+            if track.alive:
+                still_active.append(track)
+            elif len(track) >= config.min_track_points:
+                finished.append(track)
+        active = still_active
+
+    finished.extend(t for t in active if len(t) >= config.min_track_points)
+    finished = _quality_filter(finished, profiles, config)
+    finished.sort(key=lambda t: t.total_power, reverse=True)
+    return finished
+
+
+def _cluster_detections(detections: list[tuple[np.ndarray, float]],
+                        radius: float) -> list[tuple[np.ndarray, float]]:
+    """Merge detections within ``radius`` of a stronger one.
+
+    A person is an extended radar target: their body return plus nearby
+    multipath form a blob of peaks, not a point. Clustering keeps one
+    object per blob at the power-weighted centroid — the small position
+    bias this introduces under heavy multipath is precisely the effect
+    behind the office environment's larger errors (Sec. 11.1).
+    """
+    if radius == 0 or len(detections) <= 1:
+        return detections
+    ordered = sorted(detections, key=lambda item: item[1], reverse=True)
+    clusters: list[list[tuple[np.ndarray, float]]] = []
+    for position, power in ordered:
+        for cluster in clusters:
+            anchor_position, _anchor_power = cluster[0]
+            if np.linalg.norm(position - anchor_position) <= radius:
+                cluster.append((position, power))
+                break
+        else:
+            clusters.append([(position, power)])
+    merged = []
+    for cluster in clusters:
+        weights = np.array([power for _position, power in cluster])
+        positions = np.vstack([position for position, _power in cluster])
+        centroid = weights @ positions / weights.sum()
+        merged.append((centroid, float(weights.sum())))
+    return merged
+
+
+def _quality_filter(tracks: list[Track], profiles: list[RangeAngleProfile],
+                    config: TrackerConfig) -> list[Track]:
+    """Reject multipath/speckle tracks by consistency and relative power.
+
+    A real mover is detected in most frames it spans (multipath speckle
+    decorrelates frame to frame, so its chains are gappy), and its mean
+    detection power is within ``min_relative_power_db`` of the strongest
+    concurrent track (bounce trails sit ~10-20 dB below their source).
+    """
+    if not tracks or not profiles:
+        return tracks
+    frame_dt = max(
+        float(np.median(np.diff([p.time for p in profiles]))), 1e-9
+    ) if len(profiles) > 1 else 1e-9
+
+    def hit_ratio(track: Track) -> float:
+        spanned = (track.times[-1] - track.times[0]) / frame_dt + 1.0
+        return len(track) / max(spanned, 1.0)
+
+    def mean_power(track: Track) -> float:
+        return track.total_power / max(len(track), 1)
+
+    consistent = [t for t in tracks if hit_ratio(t) >= config.min_hit_ratio]
+    if not consistent:
+        return []
+    power_floor_ratio = 10.0 ** (-config.min_relative_power_db / 10.0)
+    kept: list[Track] = []
+    for track in consistent:
+        # Compare against the strongest track overlapping this one in time.
+        overlapping = [
+            other for other in consistent
+            if other.times[0] <= track.times[-1]
+            and other.times[-1] >= track.times[0]
+        ]
+        strongest = max(mean_power(other) for other in overlapping)
+        if mean_power(track) >= strongest * power_floor_ratio:
+            kept.append(track)
+    return kept

@@ -1,0 +1,42 @@
+"""The RF-Protect tag: switched-reflector hardware and its control stack.
+
+Mirrors the schematic of Fig. 5: an antenna panel (`panel`), the RF switch /
+phase shifter / LNA component models (`hardware`), the controller that turns
+a desired ghost trajectory into per-frame switching commands (`controller`),
+breathing-phase synthesis (`breathing`), and the `RfProtectTag` scene entity
+that ties them together and exposes the legitimate-sensor side channel
+(`tag`).
+"""
+
+from repro.reflector.breathing import BreathingWaveform
+from repro.reflector.delay_tag import DelayLineCommand, DelayLineSchedule, DelayLineTag
+from repro.reflector.controller import (
+    ReflectorController,
+    SpoofCommand,
+    SpoofSchedule,
+)
+from repro.reflector.hardware import (
+    AntennaSwitchModel,
+    LnaModel,
+    PhaseShifterModel,
+    SwitchModel,
+)
+from repro.reflector.panel import ReflectorPanel
+from repro.reflector.tag import GhostReport, RfProtectTag
+
+__all__ = [
+    "AntennaSwitchModel",
+    "BreathingWaveform",
+    "DelayLineCommand",
+    "DelayLineSchedule",
+    "DelayLineTag",
+    "GhostReport",
+    "LnaModel",
+    "PhaseShifterModel",
+    "ReflectorController",
+    "ReflectorPanel",
+    "RfProtectTag",
+    "SpoofCommand",
+    "SpoofSchedule",
+    "SwitchModel",
+]

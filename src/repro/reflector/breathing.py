@@ -1,0 +1,99 @@
+"""Breathing-phase synthesis for the tag's phase shifter (Sec. 11.4).
+
+A breathing chest at range ``r(t) = r0 + A sin(2 pi f t)`` rotates the beat
+tone's carrier phase by ``4 pi A sin(.) / lambda`` (round trip). The tag
+reproduces that phase rotation directly with its phase shifter, so a radar
+watching the tag's range bin reads a human-like breathing waveform.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import ReflectorError
+
+__all__ = ["BreathingWaveform"]
+
+
+@dataclasses.dataclass(frozen=True)
+class BreathingWaveform:
+    """A realistic breathing phase waveform.
+
+    Real breathing is not a pure sinusoid: inhale is faster than exhale and
+    both rate and depth wander. The waveform is a fundamental plus a small
+    second harmonic (asymmetry) with slow random-walk modulation of
+    amplitude and rate.
+
+    Attributes:
+        chest_amplitude: peak chest displacement, meters (~5 mm).
+        frequency: breaths per second (~0.25 Hz).
+        wavelength: radar wavelength, meters — sets phase per displacement.
+        asymmetry: relative second-harmonic amplitude in [0, 0.5].
+        variability: relative std-dev of the slow amplitude/rate wander.
+        phase: initial breathing phase, radians.
+    """
+
+    chest_amplitude: float = 0.005
+    frequency: float = 0.25
+    wavelength: float = 0.046
+    asymmetry: float = 0.2
+    variability: float = 0.05
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.chest_amplitude <= 0:
+            raise ReflectorError("chest amplitude must be positive")
+        if self.frequency <= 0:
+            raise ReflectorError("breathing frequency must be positive")
+        if self.wavelength <= 0:
+            raise ReflectorError("wavelength must be positive")
+        if not 0 <= self.asymmetry <= 0.5:
+            raise ReflectorError("asymmetry must be in [0, 0.5]")
+        if self.variability < 0:
+            raise ReflectorError("variability must be >= 0")
+
+    @property
+    def peak_phase(self) -> float:
+        """Peak carrier-phase excursion: ``4 pi A / lambda`` radians."""
+        return 4.0 * np.pi * self.chest_amplitude / self.wavelength
+
+    def phase_waveform(self, times: np.ndarray,
+                       rng: np.random.Generator | None = None) -> np.ndarray:
+        """Commanded phase-shifter values at the given times, radians.
+
+        With ``rng`` provided, amplitude and rate wander slowly (bounded
+        random walks), which is what makes the spoof survive an
+        eavesdropper checking for machine-perfect periodicity.
+        """
+        t = np.asarray(times, dtype=float)
+        if t.ndim != 1 or t.size == 0:
+            raise ReflectorError("times must be a non-empty 1-D array")
+
+        if rng is None or self.variability == 0:
+            amp_mod = np.ones_like(t)
+            rate_mod = np.ones_like(t)
+        else:
+            amp_mod = _bounded_walk(t.size, self.variability, rng)
+            rate_mod = _bounded_walk(t.size, self.variability, rng)
+
+        if t.size > 1:
+            dt = np.diff(t, prepend=t[0] - (t[1] - t[0]))
+        else:
+            dt = np.array([0.0])
+        # Integrate the (wandering) instantaneous rate into a breathing phase.
+        breathing_phase = self.phase + 2.0 * np.pi * self.frequency * np.cumsum(
+            rate_mod * dt
+        )
+        fundamental = np.sin(breathing_phase)
+        harmonic = self.asymmetry * np.sin(2.0 * breathing_phase)
+        return self.peak_phase * amp_mod * (fundamental + harmonic) / (1.0 + self.asymmetry)
+
+
+def _bounded_walk(length: int, scale: float,
+                  rng: np.random.Generator) -> np.ndarray:
+    """A slow multiplicative wander around 1.0, clipped to ±3 scales."""
+    steps = rng.normal(0.0, scale / max(np.sqrt(length), 1.0), length)
+    walk = 1.0 + np.cumsum(steps)
+    return np.clip(walk, 1.0 - 3.0 * scale, 1.0 + 3.0 * scale)

@@ -1,0 +1,189 @@
+"""Component models for the RF-Protect reflector hardware (Fig. 5).
+
+The tag chain is: panel antenna -> SP8T antenna switch -> on/off frequency
+modulation switch -> phase shifter -> LNA -> TX antenna. Each stage is
+modelled at the level that matters to the radar: insertion losses scale the
+reflected amplitude, the on/off switch produces its square-wave harmonic
+series, and the phase shifter quantizes to its bit resolution.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import ReflectorError
+
+__all__ = ["AntennaSwitchModel", "Harmonic", "LnaModel", "PhaseShifterModel", "SwitchModel"]
+
+
+def _db_to_linear_amplitude(db: float) -> float:
+    return 10.0 ** (db / 20.0)
+
+
+@dataclasses.dataclass(frozen=True)
+class Harmonic:
+    """One spectral line produced by the modulation switch.
+
+    Attributes:
+        order: harmonic number ``n``; the line sits at ``n * f_switch``.
+        amplitude: relative amplitude (the carrier's is 1 before switching).
+        phase: phase of the line relative to the switching waveform.
+    """
+
+    order: int
+    amplitude: float
+    phase: float
+
+
+@dataclasses.dataclass(frozen=True)
+class SwitchModel:
+    """The on/off frequency-modulation switch (Sec. 5.1).
+
+    Multiplying the through signal by a 50%-duty 0/1 square wave at
+    ``f_switch`` is equivalent to mixing with the wave's Fourier series:
+    a DC term of 1/2 (the static reflection, later removed by background
+    subtraction) and odd harmonics at ``±n * f_switch`` with amplitude
+    ``1 / (pi * n)``. The ``+1`` line is the intended ghost; the rest are
+    the side-effects Sec. 5.1 discusses.
+
+    Attributes:
+        insertion_loss_db: loss through the switch, dB (negative gain).
+        max_harmonic: highest harmonic order modelled (odd orders only).
+        include_negative: include the ``-n`` mirror lines ("behind the
+            radar"); disable to model ideal single-sideband modulation as in
+            the paper's SSB remark.
+        duty_cycle: fraction of the period the switch is closed.
+    """
+
+    insertion_loss_db: float = 1.0
+    max_harmonic: int = 5
+    include_negative: bool = True
+    duty_cycle: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.insertion_loss_db < 0:
+            raise ReflectorError("insertion loss must be >= 0 dB")
+        if self.max_harmonic < 1:
+            raise ReflectorError("max_harmonic must be >= 1")
+        if not 0 < self.duty_cycle < 1:
+            raise ReflectorError("duty_cycle must be in (0, 1)")
+
+    @property
+    def through_amplitude(self) -> float:
+        """Amplitude scale of the signal passing the (closed) switch."""
+        return _db_to_linear_amplitude(-self.insertion_loss_db)
+
+    def harmonics(self) -> list[Harmonic]:
+        """Spectral lines of the switching waveform, DC included.
+
+        For duty cycle ``d`` the Fourier coefficient of order ``n`` is
+        ``sin(pi n d) / (pi n)`` (DC term ``d``), so a 50% duty cycle keeps
+        only odd orders — matching Sec. 5.1's ``-f, 2f, 3f...`` discussion
+        with even lines vanishing.
+        """
+        loss = self.through_amplitude
+        lines = [Harmonic(0, self.duty_cycle * loss, 0.0)]
+        orders = range(1, self.max_harmonic + 1)
+        for n in orders:
+            coefficient = np.sin(np.pi * n * self.duty_cycle) / (np.pi * n)
+            if abs(coefficient) < 1e-12:
+                continue
+            magnitude = abs(coefficient) * loss
+            # exp(j n w t) coefficient of a real square wave: c_n = |c|e^{j phi}
+            phase = 0.0 if coefficient > 0 else np.pi
+            lines.append(Harmonic(n, magnitude, phase))
+            if self.include_negative:
+                lines.append(Harmonic(-n, magnitude, -phase))
+        return lines
+
+
+@dataclasses.dataclass(frozen=True)
+class PhaseShifterModel:
+    """Analog phase shifter used for breathing spoofing (Sec. 11.4).
+
+    Attributes:
+        bits: control resolution; the commanded phase is quantized to
+            ``2 pi / 2**bits`` steps.
+        insertion_loss_db: loss through the shifter, dB.
+    """
+
+    bits: int = 6
+    insertion_loss_db: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ReflectorError("phase shifter needs at least 1 bit")
+        if self.insertion_loss_db < 0:
+            raise ReflectorError("insertion loss must be >= 0 dB")
+
+    @property
+    def through_amplitude(self) -> float:
+        return _db_to_linear_amplitude(-self.insertion_loss_db)
+
+    @property
+    def step(self) -> float:
+        """Smallest realizable phase step, radians."""
+        return 2.0 * np.pi / (2 ** self.bits)
+
+    def quantize(self, phase: float | np.ndarray) -> float | np.ndarray:
+        """Round a commanded phase to the nearest realizable setting."""
+        return np.round(np.asarray(phase, dtype=float) / self.step) * self.step
+
+
+@dataclasses.dataclass(frozen=True)
+class LnaModel:
+    """Low-noise amplifier boosting the re-radiated signal.
+
+    Attributes:
+        gain_db: amplitude gain in dB. The paper tunes this so the phantom's
+            reflected power matches a human's (Fig. 10). Note the tag's path
+            loss is set by the *physical* antenna distance (~1.2 m from the
+            radar), not the ghost's apparent distance, so a modest gain
+            already makes the fundamental line as bright as a mid-room human
+            while keeping the 3rd harmonic "much weaker than human motion"
+            (Sec. 5.1). The 12 dB default realizes that balance for the
+            default channel; see ``RfProtectTag.effective_rcs``.
+    """
+
+    gain_db: float = 12.0
+
+    def __post_init__(self) -> None:
+        if self.gain_db < 0:
+            raise ReflectorError("LNA gain must be >= 0 dB")
+
+    @property
+    def amplitude_gain(self) -> float:
+        return _db_to_linear_amplitude(self.gain_db)
+
+
+@dataclasses.dataclass(frozen=True)
+class AntennaSwitchModel:
+    """SP8T antenna-selection switch (EV1HMC345ALP3 in the paper).
+
+    Attributes:
+        num_ports: selectable antenna ports.
+        insertion_loss_db: loss through the switch, dB.
+    """
+
+    num_ports: int = 8
+    insertion_loss_db: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_ports < 1:
+            raise ReflectorError("antenna switch needs at least one port")
+        if self.insertion_loss_db < 0:
+            raise ReflectorError("insertion loss must be >= 0 dB")
+
+    @property
+    def through_amplitude(self) -> float:
+        return _db_to_linear_amplitude(-self.insertion_loss_db)
+
+    def check_port(self, index: int) -> int:
+        """Validate an antenna port selection; returns the index."""
+        if not 0 <= index < self.num_ports:
+            raise ReflectorError(
+                f"antenna port {index} outside SP{self.num_ports}T switch"
+            )
+        return index

@@ -1,0 +1,122 @@
+"""Geometry of the switched antenna panel (Sec. 5.2, Fig. 4).
+
+The panel is a line of ``K_R`` directional antennas mounted along a wall.
+Each antenna is a *physical* reflector, so the radar genuinely receives the
+spoofed signal from that antenna's direction — the property that makes the
+defense work against both analog and digital beamforming. Selecting an
+antenna selects a discrete ray from the radar into the room; the switching
+frequency then places the ghost at a chosen distance along that ray.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import constants
+from repro.errors import ReflectorError
+from repro.geometry import unit_vector, wrap_angle
+
+__all__ = ["ReflectorPanel"]
+
+
+class ReflectorPanel:
+    """A linear panel of selectable reflector antennas.
+
+    Args:
+        center: (x, y) of the panel midpoint in room coordinates, meters.
+        num_antennas: antennas on the panel (paper: 6).
+        spacing: antenna separation in meters (paper: ~0.20).
+        wall_angle: direction of the panel line, radians from +x.
+        normal_angle: direction the panel faces (into the room); must not be
+            parallel to the wall. Defaults to ``wall_angle + pi/2``.
+    """
+
+    def __init__(self, center: tuple[float, float] | np.ndarray, *,
+                 num_antennas: int = constants.PANEL_NUM_ANTENNAS,
+                 spacing: float = constants.PANEL_ANTENNA_SPACING_M,
+                 wall_angle: float = 0.0,
+                 normal_angle: float | None = None) -> None:
+        if num_antennas < 1:
+            raise ReflectorError("panel needs at least one antenna")
+        if spacing <= 0:
+            raise ReflectorError("antenna spacing must be positive")
+        self.center = np.asarray(center, dtype=float)
+        if self.center.shape != (2,):
+            raise ReflectorError("panel center must be (x, y)")
+        self.num_antennas = num_antennas
+        self.spacing = spacing
+        self.wall_angle = float(wall_angle)
+        if normal_angle is None:
+            normal_angle = wall_angle + np.pi / 2.0
+        self.normal_angle = float(normal_angle)
+        alignment = abs(np.cos(self.normal_angle - self.wall_angle))
+        if alignment > 0.999:
+            raise ReflectorError("panel normal must not lie along the wall")
+
+    @property
+    def wall_direction(self) -> np.ndarray:
+        """Unit vector along the panel line."""
+        return unit_vector(self.wall_angle)
+
+    @property
+    def normal_direction(self) -> np.ndarray:
+        """Unit vector pointing into the room."""
+        return unit_vector(self.normal_angle)
+
+    @property
+    def span(self) -> float:
+        """End-to-end extent of the antenna line, meters."""
+        return (self.num_antennas - 1) * self.spacing
+
+    def antenna_positions(self) -> np.ndarray:
+        """Antenna (x, y) positions, shape ``(K_R, 2)``, centered on the panel."""
+        offsets = np.arange(self.num_antennas) - (self.num_antennas - 1) / 2.0
+        return self.center + np.outer(offsets * self.spacing, self.wall_direction)
+
+    def antenna_position(self, index: int) -> np.ndarray:
+        """Position of one antenna; raises for out-of-range indices."""
+        if not 0 <= index < self.num_antennas:
+            raise ReflectorError(
+                f"antenna index {index} outside panel of {self.num_antennas}"
+            )
+        return self.antenna_positions()[index]
+
+    def default_radar_position(self,
+                               distance: float = constants.RADAR_TO_REFLECTOR_DISTANCE_M
+                               ) -> np.ndarray:
+        """The tag's nominal assumption of where the eavesdropper sits.
+
+        RF-Protect is deployed against a vulnerable wall with the radar on
+        the other side (Sec. 4): directly behind the panel center at the
+        paper's ~1.2 m separation. The tag never learns the true radar
+        position; a wrong assumption only rotates/scales the observed ghost
+        trajectory (Sec. 5.3), which the evaluation tolerates by design.
+        """
+        if distance <= 0:
+            raise ReflectorError("radar standoff distance must be positive")
+        return self.center - distance * self.normal_direction
+
+    def antenna_angles(self, radar_position: np.ndarray | None = None) -> np.ndarray:
+        """Discrete spoofable angles, radians, one per antenna.
+
+        The angle of antenna ``k`` is the bearing of the ray from
+        ``radar_position`` (nominal if omitted) through the antenna —
+        the only directions the panel can make reflections appear from.
+        """
+        if radar_position is None:
+            radar_position = self.default_radar_position()
+        radar = np.asarray(radar_position, dtype=float)
+        rel = self.antenna_positions() - radar
+        return np.arctan2(rel[:, 1], rel[:, 0])
+
+    def nearest_antenna(self, bearing: float,
+                        radar_position: np.ndarray | None = None) -> int:
+        """Antenna whose discrete angle is closest to ``bearing``."""
+        angles = self.antenna_angles(radar_position)
+        return int(np.argmin(np.abs(wrap_angle(angles - bearing))))
+
+    def angular_coverage(self,
+                         radar_position: np.ndarray | None = None) -> tuple[float, float]:
+        """(min, max) spoofable bearing from the (nominal) radar, radians."""
+        angles = self.antenna_angles(radar_position)
+        return float(angles.min()), float(angles.max())

@@ -1,0 +1,179 @@
+"""`RfProtectTag`: the deployed reflector as a radar scene entity.
+
+The tag executes one :class:`~repro.reflector.controller.SpoofSchedule` per
+ghost. At each radar frame it looks up the active command of every schedule
+and emits the spectral lines the switched reflection chain produces: the
+static carrier at the selected antenna's true position (removed by the
+radar's background subtraction, like any piece of furniture) plus the
+square-wave harmonics whose ``+1`` line is the moving ghost (Sec. 5.1).
+
+Because the tag re-radiates the *radar's own* signal, it transmits nothing
+when the radar is silent — the property that defeats the turn-the-radar-off
+detection of prior spoofing attacks (Sec. 12).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import ReflectorError
+from repro.radar.antenna import UniformLinearArray
+from repro.radar.channel import ChannelModel
+from repro.radar.frontend import PathComponent
+from repro.reflector.controller import SpoofSchedule
+from repro.reflector.hardware import (
+    AntennaSwitchModel,
+    LnaModel,
+    PhaseShifterModel,
+    SwitchModel,
+)
+from repro.reflector.panel import ReflectorPanel
+from repro.types import Trajectory
+
+__all__ = ["GhostReport", "RfProtectTag"]
+
+_MIN_ANGLE = 1e-3
+
+
+@dataclasses.dataclass(frozen=True)
+class GhostReport:
+    """Side-channel disclosure of one injected ghost (Sec. 11.3).
+
+    A user-authorized sensor receives these reports and can subtract the
+    fake trajectories from its tracking output; an eavesdropper never sees
+    them because they are conveyed out of band, not over RF.
+    """
+
+    ghost_id: int
+    trajectory: Trajectory
+    start_time: float
+
+
+class RfProtectTag:
+    """The RF-Protect reflector deployed in a scene.
+
+    Args:
+        panel: antenna panel geometry.
+        switch: on/off modulation switch model.
+        phase_shifter: breathing phase shifter model.
+        antenna_switch: SP8T antenna selector model.
+        lna: amplifier model; with the default channel this makes the
+            phantom's received power comparable to a human reflection,
+            matching Fig. 10's observation.
+        base_rcs: radar cross-section of one panel antenna before
+            amplification.
+    """
+
+    def __init__(self, panel: ReflectorPanel, *,
+                 switch: SwitchModel | None = None,
+                 phase_shifter: PhaseShifterModel | None = None,
+                 antenna_switch: AntennaSwitchModel | None = None,
+                 lna: LnaModel | None = None,
+                 base_rcs: float = 0.01) -> None:
+        if base_rcs <= 0:
+            raise ReflectorError("base_rcs must be positive")
+        self.panel = panel
+        self.switch = switch if switch is not None else SwitchModel()
+        self.phase_shifter = (phase_shifter if phase_shifter is not None
+                              else PhaseShifterModel())
+        self.antenna_switch = (antenna_switch if antenna_switch is not None
+                               else AntennaSwitchModel())
+        if self.antenna_switch.num_ports < panel.num_antennas:
+            raise ReflectorError(
+                f"panel has {panel.num_antennas} antennas but the switch "
+                f"only has {self.antenna_switch.num_ports} ports"
+            )
+        self.lna = lna if lna is not None else LnaModel()
+        self.base_rcs = base_rcs
+        self.schedules: list[SpoofSchedule] = []
+
+    @property
+    def effective_rcs(self) -> float:
+        """RCS the radar equation sees after the full amplification chain."""
+        chain_amplitude = (self.antenna_switch.through_amplitude
+                           * self.switch.through_amplitude
+                           * self.phase_shifter.through_amplitude
+                           * self.lna.amplitude_gain)
+        return self.base_rcs * chain_amplitude ** 2
+
+    def deploy(self, schedule: SpoofSchedule) -> int:
+        """Start executing a ghost schedule; returns its ghost id."""
+        self.schedules.append(schedule)
+        return len(self.schedules) - 1
+
+    def clear(self) -> None:
+        """Stop all ghosts."""
+        self.schedules.clear()
+
+    def ghost_reports(self) -> list[GhostReport]:
+        """Side-channel reports for all deployed ghosts (legitimate sensing)."""
+        return [
+            GhostReport(ghost_id=i,
+                        trajectory=schedule.intended_trajectory(),
+                        start_time=schedule.start_time)
+            for i, schedule in enumerate(self.schedules)
+        ]
+
+    def path_components(self, t: float, array: UniformLinearArray,
+                        channel: ChannelModel,
+                        rng: np.random.Generator) -> list[PathComponent]:
+        """Spectral lines the tag contributes to the frame at time ``t``.
+
+        Implements the :class:`~repro.radar.scene.SceneEntity` protocol, so
+        a tag is added to a scene exactly like a human — the radar frontend
+        cannot tell the difference, by construction.
+        """
+        components: list[PathComponent] = []
+        for schedule in self.schedules:
+            command = schedule.command_at(t)
+            if command is None:
+                continue
+            antenna = self.panel.antenna_position(
+                self.antenna_switch.check_port(command.antenna_index)
+            )
+            distance, angle = array.polar_of(antenna)
+            angle = float(np.clip(angle, _MIN_ANGLE, np.pi - _MIN_ANGLE))
+            amplitude = float(channel.path_amplitude(distance, self.effective_rcs))
+            amplitude *= command.amplitude_scale
+            commanded_phase = float(self.phase_shifter.quantize(command.phase_shift))
+            # The switching oscillator runs continuously; its phase at frame
+            # time t is 2*pi*f*t. Frame-coherent frequencies (multiples of
+            # the frame rate) make this wrap to the same value every frame,
+            # which is what keeps spoofed breathing readable in phase.
+            switching_phase = 2.0 * np.pi * command.switch_frequency * t
+            for harmonic in self.switch.harmonics():
+                line_amplitude = amplitude * harmonic.amplitude
+                line_offset = harmonic.order * command.switch_frequency
+                line_phase = (harmonic.order * switching_phase
+                              + harmonic.phase + commanded_phase)
+                components.append(
+                    PathComponent(
+                        distance=distance,
+                        angle=angle,
+                        amplitude=line_amplitude,
+                        beat_offset_hz=line_offset,
+                        phase_offset=line_phase,
+                    )
+                )
+                if abs(harmonic.order) != 1:
+                    continue
+                # The tag's re-radiated signal bounces off the room like any
+                # other reflection, so the environment's dynamic multipath
+                # dresses the ghost's main lines too — Fig. 10b notes these
+                # "secondary reflections around the phantom".
+                for bounce_distance, bounce_angle, bounce_amp in (
+                        channel.sample_multipath(distance, angle,
+                                                 line_amplitude, rng)):
+                    components.append(
+                        PathComponent(
+                            distance=bounce_distance,
+                            angle=bounce_angle,
+                            amplitude=bounce_amp,
+                            beat_offset_hz=line_offset,
+                            phase_offset=(line_phase
+                                          + float(rng.uniform(0.0, 2.0 * np.pi))),
+                        )
+                    )
+        return components

@@ -1,0 +1,132 @@
+"""FMCW chirp configuration and the time-of-flight arithmetic of Sec. 3.
+
+An FMCW radar transmits a chirp whose frequency rises linearly with slope
+``sl = bandwidth / duration``. Mixing the received reflection with the
+transmitted chirp produces a *beat* tone at ``f_b = sl * tau`` for a path
+delay ``tau``, so distance maps linearly to beat frequency (Eq. 1):
+
+    distance = C * f_b / (2 * sl)
+
+RF-Protect's key observation (Sec. 5.1) is the converse: shifting the beat
+frequency by ``f_switch`` — achievable by on/off switching a reflector —
+moves the *apparent* distance by ``C * f_switch / (2 * sl)`` without any
+physical motion. Both directions of that mapping live here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro import constants
+from repro.errors import ConfigurationError
+
+__all__ = ["ChirpConfig"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ChirpConfig:
+    """Parameters of the FMCW chirp and its dechirped (beat) sampling.
+
+    Attributes:
+        start_frequency: sweep start in Hz (paper: 6 GHz).
+        bandwidth: sweep span in Hz (paper: 1 GHz).
+        duration: chirp duration in seconds (paper: 500 us).
+        sample_rate: ADC rate for the *beat* signal in Hz. The beat signal is
+            narrowband (hundreds of kHz for room-scale delays), so a few MHz
+            suffices — this is exactly why FMCW radars avoid GHz sampling.
+    """
+
+    start_frequency: float = constants.CHIRP_START_HZ
+    bandwidth: float = constants.CHIRP_BANDWIDTH_HZ
+    duration: float = constants.CHIRP_DURATION_S
+    sample_rate: float = 2.0e6
+
+    def __post_init__(self) -> None:
+        if self.start_frequency <= 0:
+            raise ConfigurationError("start_frequency must be positive")
+        if self.bandwidth <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+        if self.duration <= 0:
+            raise ConfigurationError("duration must be positive")
+        if self.sample_rate <= 0:
+            raise ConfigurationError("sample_rate must be positive")
+        if self.num_samples < 8:
+            raise ConfigurationError(
+                "chirp too short for its sample rate: fewer than 8 beat samples"
+            )
+
+    @property
+    def slope(self) -> float:
+        """Chirp slope ``sl`` in Hz/s."""
+        return self.bandwidth / self.duration
+
+    @property
+    def center_frequency(self) -> float:
+        """Sweep center frequency in Hz."""
+        return self.start_frequency + self.bandwidth / 2.0
+
+    @property
+    def wavelength(self) -> float:
+        """Wavelength at the center frequency, in meters."""
+        return constants.SPEED_OF_LIGHT / self.center_frequency
+
+    @property
+    def num_samples(self) -> int:
+        """Beat samples captured per chirp."""
+        return int(round(self.duration * self.sample_rate))
+
+    @property
+    def range_resolution(self) -> float:
+        """FMCW range resolution ``C / (2B)`` in meters (Sec. 3)."""
+        return constants.SPEED_OF_LIGHT / (2.0 * self.bandwidth)
+
+    @property
+    def max_unambiguous_range(self) -> float:
+        """Largest distance whose beat tone stays below Nyquist."""
+        return self.beat_frequency_to_distance(self.sample_rate / 2.0)
+
+    def sample_times(self) -> np.ndarray:
+        """Sample instants within one chirp, shape ``(num_samples,)``."""
+        return np.arange(self.num_samples) / self.sample_rate
+
+    def distance_to_delay(self, distance: float | np.ndarray) -> float | np.ndarray:
+        """Round-trip delay for a reflector at ``distance`` meters."""
+        return 2.0 * np.asarray(distance, dtype=float) / constants.SPEED_OF_LIGHT
+
+    def delay_to_distance(self, delay: float | np.ndarray) -> float | np.ndarray:
+        """One-way distance for a round-trip ``delay`` (Eq. 1, time form)."""
+        return constants.SPEED_OF_LIGHT * np.asarray(delay, dtype=float) / 2.0
+
+    def distance_to_beat_frequency(self, distance: float | np.ndarray) -> float | np.ndarray:
+        """Beat frequency produced by a reflector at ``distance`` meters."""
+        return self.slope * self.distance_to_delay(distance)
+
+    def beat_frequency_to_distance(self, beat_frequency: float | np.ndarray) -> float | np.ndarray:
+        """Distance implied by a ``beat_frequency`` (Eq. 1)."""
+        return (constants.SPEED_OF_LIGHT * np.asarray(beat_frequency, dtype=float)
+                / (2.0 * self.slope))
+
+    def switch_frequency_for_offset(self, distance_offset: float | np.ndarray) -> float | np.ndarray:
+        """Switching frequency that shifts apparent distance by ``distance_offset``.
+
+        This is Eq. 3 solved for ``f_switch``: the RF-Protect reflector turns
+        itself on and off at this rate to appear ``distance_offset`` meters
+        beyond its physical location. Positive offsets only make sense in the
+        paper's deployment (the reflector sits on the wall nearest the radar).
+        """
+        return 2.0 * self.slope * np.asarray(distance_offset, dtype=float) / constants.SPEED_OF_LIGHT
+
+    def offset_for_switch_frequency(self, switch_frequency: float | np.ndarray) -> float | np.ndarray:
+        """Apparent distance offset created by ``switch_frequency`` (Eq. 3)."""
+        return (constants.SPEED_OF_LIGHT * np.asarray(switch_frequency, dtype=float)
+                / (2.0 * self.slope))
+
+    def carrier_phase(self, distance: float | np.ndarray) -> float | np.ndarray:
+        """Beat-tone phase ``2 pi f0 tau`` for a reflector at ``distance``.
+
+        Sub-wavelength motion (e.g. a breathing chest) shows up in this term,
+        which is how FMCW radars extract vital signs (Sec. 11.4).
+        """
+        return 2.0 * np.pi * self.start_frequency * self.distance_to_delay(distance)

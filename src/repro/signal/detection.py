@@ -1,0 +1,146 @@
+"""Detection utilities: CA-CFAR thresholds and 2-D range-angle peak picking.
+
+The paper's processing pipeline (Sec. 9.1) extracts human reflections as
+peaks in background-subtracted range-angle power profiles, with "smoothing
+over time and peak rejection" on top. The primitives for that live here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import SignalProcessingError
+
+__all__ = ["cfar_threshold", "detect_peaks_2d", "PeakDetection"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PeakDetection:
+    """One detected peak in a range-angle power map."""
+
+    range_index: int
+    angle_index: int
+    power: float
+
+
+def cfar_threshold(power: np.ndarray, *, guard_cells: int = 2,
+                   training_cells: int = 8, scale: float = 4.0) -> np.ndarray:
+    """Cell-averaging CFAR threshold along the last axis of ``power``.
+
+    For each cell, the noise level is estimated as the mean of
+    ``training_cells`` cells on each side, skipping ``guard_cells`` adjacent
+    cells (which may contain the target itself); the threshold is that level
+    times ``scale``. Edges fall back to the available one-sided training data.
+    """
+    spectrum = np.asarray(power, dtype=float)
+    if guard_cells < 0 or training_cells < 1:
+        raise SignalProcessingError("guard_cells >= 0 and training_cells >= 1 required")
+    n = spectrum.shape[-1]
+    window = guard_cells + training_cells
+    if n < 2 * window + 1:
+        raise SignalProcessingError(
+            f"spectrum of length {n} too short for CFAR window {window}"
+        )
+
+    # Sliding sums via a cumulative sum, vectorized over leading axes.
+    padded = np.concatenate(
+        [np.zeros(spectrum.shape[:-1] + (1,)), np.cumsum(spectrum, axis=-1)], axis=-1
+    )
+
+    def window_sum(start: np.ndarray, stop: np.ndarray) -> np.ndarray:
+        start = np.clip(start, 0, n)
+        stop = np.clip(stop, 0, n)
+        return np.take(padded, stop, axis=-1) - np.take(padded, start, axis=-1)
+
+    idx = np.arange(n)
+    left = window_sum(idx - window, idx - guard_cells)
+    right = window_sum(idx + guard_cells + 1, idx + window + 1)
+    counts = (np.clip(idx - guard_cells, 0, n) - np.clip(idx - window, 0, n)
+              + np.clip(idx + window + 1, 0, n) - np.clip(idx + guard_cells + 1, 0, n))
+    counts = np.maximum(counts, 1)
+    noise = (left + right) / counts
+    return noise * scale
+
+
+def detect_peaks_2d(power_map: np.ndarray, *, threshold: float,
+                    max_peaks: int | None = None,
+                    min_range_separation: int = 1,
+                    min_angle_separation: int = 1,
+                    sidelobe_rejection_db: float | None = 12.0,
+                    sidelobe_range_bins: int = 3,
+                    range_sidelobe_rejection_db: float = 20.0,
+                    range_sidelobe_angle_bins: int = 5) -> list[PeakDetection]:
+    """Find local maxima above ``threshold`` in a (range x angle) power map.
+
+    A cell is a candidate when it is >= all of its 8 neighbours and strictly
+    above ``threshold``. Candidates are accepted strongest-first, suppressing
+    any later candidate within the given index separations of an accepted one
+    — the "peak rejection" step of the paper's pipeline.
+
+    Two sidelobe-rejection rules (enabled by ``sidelobe_rejection_db``)
+    remove the processing artifacts of a strong target:
+
+    - *beamforming sidelobes* sit on the same range ring at offset angles: a
+      candidate within ``sidelobe_range_bins`` rows of an accepted peak is
+      rejected when at least ``sidelobe_rejection_db`` weaker;
+    - *range-FFT (window) sidelobes* sit at the same angle at offset ranges:
+      a candidate within ``range_sidelobe_angle_bins`` columns is rejected
+      when at least ``range_sidelobe_rejection_db`` weaker.
+
+    A real second target of comparable strength survives both rules.
+    """
+    grid = np.asarray(power_map, dtype=float)
+    if grid.ndim != 2:
+        raise SignalProcessingError(
+            f"detect_peaks_2d expects a 2-D map, got shape {grid.shape}"
+        )
+    if grid.shape[0] < 3 or grid.shape[1] < 3:
+        return []
+
+    center = grid[1:-1, 1:-1]
+    is_max = np.ones_like(center, dtype=bool)
+    for dr in (-1, 0, 1):
+        for dc in (-1, 0, 1):
+            if dr == 0 and dc == 0:
+                continue
+            neighbour = grid[1 + dr: grid.shape[0] - 1 + dr,
+                             1 + dc: grid.shape[1] - 1 + dc]
+            is_max &= center >= neighbour
+    rows, cols = np.nonzero(is_max & (center > threshold))
+    rows = rows + 1
+    cols = cols + 1
+
+    sidelobe_ratio = None
+    range_sidelobe_ratio = None
+    if sidelobe_rejection_db is not None:
+        if sidelobe_rejection_db <= 0 or range_sidelobe_rejection_db <= 0:
+            raise SignalProcessingError("sidelobe rejection dB must be positive")
+        sidelobe_ratio = 10.0 ** (-sidelobe_rejection_db / 10.0)
+        range_sidelobe_ratio = 10.0 ** (-range_sidelobe_rejection_db / 10.0)
+
+    order = np.argsort(grid[rows, cols])[::-1]
+    accepted: list[PeakDetection] = []
+    for k in order:
+        r, c = int(rows[k]), int(cols[k])
+        power = float(grid[r, c])
+        clash = any(
+            abs(r - p.range_index) < min_range_separation
+            and abs(c - p.angle_index) < min_angle_separation
+            for p in accepted
+        )
+        if not clash and sidelobe_ratio is not None:
+            clash = any(
+                (abs(r - p.range_index) <= sidelobe_range_bins
+                 and power < p.power * sidelobe_ratio)
+                or (abs(c - p.angle_index) <= range_sidelobe_angle_bins
+                    and power < p.power * range_sidelobe_ratio)
+                for p in accepted
+            )
+        if clash:
+            continue
+        accepted.append(PeakDetection(r, c, power))
+        if max_peaks is not None and len(accepted) >= max_peaks:
+            break
+    return accepted

@@ -1,0 +1,97 @@
+"""Time-domain smoothing and outlier rejection for tracked positions.
+
+Raw per-frame detections are "sporadic with intermittent noise" (Sec. 9.1),
+so the paper smooths over time and rejects spurious peaks before reporting a
+trajectory. These filters implement that stage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SignalProcessingError
+
+__all__ = ["moving_average", "median_filter", "reject_outliers", "smooth_trajectory"]
+
+
+def _check_1d_or_2d(values: np.ndarray, name: str) -> np.ndarray:
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim not in (1, 2) or arr.shape[0] == 0:
+        raise SignalProcessingError(
+            f"{name} expects a non-empty 1-D or (T, D) array, got shape {arr.shape}"
+        )
+    return arr
+
+
+def moving_average(values: np.ndarray, window: int) -> np.ndarray:
+    """Centered moving average with edge shrinking, along axis 0.
+
+    The window shrinks near the boundaries instead of zero-padding, so the
+    output has no startup bias and the same shape as the input.
+    """
+    arr = _check_1d_or_2d(values, "moving_average")
+    if window < 1:
+        raise SignalProcessingError(f"window must be >= 1, got {window}")
+    if window == 1:
+        return arr.copy()
+    half = window // 2
+    n = arr.shape[0]
+    flat = arr.reshape(n, -1)
+    cumsum = np.vstack([np.zeros((1, flat.shape[1])), np.cumsum(flat, axis=0)])
+    idx = np.arange(n)
+    lo = np.clip(idx - half, 0, n)
+    hi = np.clip(idx + half + 1, 0, n)
+    sums = cumsum[hi] - cumsum[lo]
+    counts = (hi - lo).reshape(-1, 1)
+    return (sums / counts).reshape(arr.shape)
+
+
+def median_filter(values: np.ndarray, window: int) -> np.ndarray:
+    """Centered median filter with edge shrinking, along axis 0."""
+    arr = _check_1d_or_2d(values, "median_filter")
+    if window < 1:
+        raise SignalProcessingError(f"window must be >= 1, got {window}")
+    if window == 1:
+        return arr.copy()
+    half = window // 2
+    n = arr.shape[0]
+    out = np.empty_like(arr)
+    for i in range(n):
+        lo = max(0, i - half)
+        hi = min(n, i + half + 1)
+        out[i] = np.median(arr[lo:hi], axis=0)
+    return out
+
+
+def reject_outliers(positions: np.ndarray, *, max_jump: float) -> np.ndarray:
+    """Replace positions that jump implausibly far from their predecessor.
+
+    Any point farther than ``max_jump`` from the previous *accepted* point is
+    treated as a spurious detection and replaced by that previous point; the
+    caller typically smooths afterwards. This mirrors the paper's peak
+    rejection: a human cannot teleport between consecutive frames.
+    """
+    arr = _check_1d_or_2d(positions, "reject_outliers")
+    if arr.ndim != 2:
+        raise SignalProcessingError("reject_outliers expects (T, D) positions")
+    if max_jump <= 0:
+        raise SignalProcessingError(f"max_jump must be positive, got {max_jump}")
+    out = arr.copy()
+    for i in range(1, out.shape[0]):
+        if np.linalg.norm(out[i] - out[i - 1]) > max_jump:
+            out[i] = out[i - 1]
+    return out
+
+
+def smooth_trajectory(positions: np.ndarray, *, window: int = 5,
+                      max_jump: float | None = None) -> np.ndarray:
+    """Full smoothing stage: optional outlier rejection, median, then mean.
+
+    The median pass removes residual single-frame spikes; the moving average
+    then yields the smooth track the paper overlays on ground truth (Fig. 9).
+    """
+    arr = _check_1d_or_2d(positions, "smooth_trajectory")
+    if max_jump is not None:
+        arr = reject_outliers(arr, max_jump=max_jump)
+    arr = median_filter(arr, min(window, arr.shape[0]) | 1)
+    return moving_average(arr, window)

@@ -1,0 +1,88 @@
+"""Phase extraction for breathing analysis (Sec. 11.4).
+
+A static person's chest motion is millimetric — invisible in range bins but
+plainly visible in the *phase* of the beat tone at their range bin, which
+rotates by ``4 pi / lambda`` radians per meter of chest displacement. The
+eavesdropper (and the legitimate sensor) recover breathing by tracking that
+phase across frames; RF-Protect fakes it with a programmable phase shifter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SignalProcessingError
+
+__all__ = ["extract_phase", "unwrap_phase", "dominant_period"]
+
+
+def extract_phase(range_profiles: np.ndarray, bin_index: int) -> np.ndarray:
+    """Phase time-series of one range bin across frames.
+
+    Args:
+        range_profiles: complex array of shape ``(num_frames, num_bins)``.
+        bin_index: the range bin occupied by the (static) subject.
+
+    Returns:
+        Wrapped phase per frame, in radians, shape ``(num_frames,)``.
+    """
+    profiles = np.asarray(range_profiles)
+    if profiles.ndim != 2:
+        raise SignalProcessingError(
+            f"extract_phase expects (frames, bins), got shape {profiles.shape}"
+        )
+    if not 0 <= bin_index < profiles.shape[1]:
+        raise SignalProcessingError(
+            f"bin_index {bin_index} outside profile with {profiles.shape[1]} bins"
+        )
+    return np.angle(profiles[:, bin_index])
+
+
+def unwrap_phase(phase: np.ndarray) -> np.ndarray:
+    """Unwrap a phase series so breathing excursions accumulate smoothly."""
+    series = np.asarray(phase, dtype=float)
+    if series.ndim != 1 or series.size == 0:
+        raise SignalProcessingError("unwrap_phase expects a non-empty 1-D series")
+    return np.unwrap(series)
+
+
+def dominant_period(series: np.ndarray, dt: float, *,
+                    min_period: float = 1.0, max_period: float = 15.0) -> float:
+    """Dominant oscillation period of a series, in seconds.
+
+    Used to read a breathing period out of an unwrapped phase trace. The
+    series is detrended (mean and linear trend removed) and the strongest
+    spectral line within [1/max_period, 1/min_period] Hz is reported.
+
+    Raises :class:`SignalProcessingError` when the series is too short to
+    contain even one cycle of ``max_period``.
+    """
+    values = np.asarray(series, dtype=float)
+    if values.ndim != 1:
+        raise SignalProcessingError("dominant_period expects a 1-D series")
+    if dt <= 0:
+        raise SignalProcessingError(f"dt must be positive, got {dt}")
+    if min_period <= 0 or max_period <= min_period:
+        raise SignalProcessingError("need 0 < min_period < max_period")
+    duration = (values.size - 1) * dt
+    if duration < max_period:
+        raise SignalProcessingError(
+            f"series spans {duration:.2f}s, too short to resolve "
+            f"periods up to {max_period:.2f}s"
+        )
+
+    t = np.arange(values.size) * dt
+    trend = np.polyfit(t, values, deg=1)
+    detrended = values - np.polyval(trend, t)
+
+    n_fft = 8 * values.size  # zero-pad for fine frequency interpolation
+    spectrum = np.abs(np.fft.rfft(detrended, n=n_fft))
+    freqs = np.fft.rfftfreq(n_fft, d=dt)
+    band = (freqs >= 1.0 / max_period) & (freqs <= 1.0 / min_period)
+    if not np.any(band):
+        raise SignalProcessingError("no spectral bins inside the period band")
+    band_freqs = freqs[band]
+    best = band_freqs[np.argmax(spectrum[band])]
+    if best <= 0:
+        raise SignalProcessingError("no oscillation found in the period band")
+    return float(1.0 / best)

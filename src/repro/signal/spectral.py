@@ -1,0 +1,100 @@
+"""Range-FFT and spectral peak utilities for dechirped FMCW signals.
+
+The dechirped (beat) signal of one chirp is a sum of complex tones, one per
+propagation path, at frequencies proportional to path distance (Eq. 1). The
+range FFT separates those tones at a resolution of ``C / 2B`` (Sec. 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SignalProcessingError
+from repro.signal.chirp import ChirpConfig
+from repro.signal.windows import get_window
+
+__all__ = ["range_fft", "range_axis", "beat_spectrum", "find_spectral_peaks"]
+
+
+def range_fft(beat_samples: np.ndarray, chirp: ChirpConfig, *,
+              window: str = "hann", zero_pad_factor: int = 2) -> np.ndarray:
+    """Compute the complex range profile of one (or many) beat signals.
+
+    Args:
+        beat_samples: complex array whose *last* axis is the per-chirp sample
+            axis — e.g. ``(num_samples,)`` for one chirp or
+            ``(num_antennas, num_samples)`` for one frame.
+        chirp: the chirp configuration the samples were captured under.
+        window: taper applied before the FFT (see ``signal.windows``).
+        zero_pad_factor: FFT length multiplier for finer bin interpolation.
+
+    Returns:
+        Complex spectrum over the positive-frequency half, with the same
+        leading axes as the input. Bin ``k`` corresponds to the distance
+        ``range_axis(chirp, ...)[k]``.
+    """
+    samples = np.asarray(beat_samples)
+    if samples.shape[-1] != chirp.num_samples:
+        raise SignalProcessingError(
+            f"beat signal has {samples.shape[-1]} samples per chirp, "
+            f"expected {chirp.num_samples}"
+        )
+    if zero_pad_factor < 1:
+        raise SignalProcessingError("zero_pad_factor must be >= 1")
+    taper = get_window(window, chirp.num_samples)
+    n_fft = chirp.num_samples * zero_pad_factor
+    spectrum = np.fft.fft(samples * taper, n=n_fft, axis=-1)
+    # Positive beat frequencies only: reflections always add delay, so valid
+    # ranges live in [0, fs/2); the negative half would alias to "behind the
+    # radar" and is dropped, mirroring Sec. 5.1's note on negative harmonics.
+    return spectrum[..., : n_fft // 2]
+
+
+def range_axis(chirp: ChirpConfig, *, zero_pad_factor: int = 2) -> np.ndarray:
+    """Distances (meters) corresponding to each ``range_fft`` output bin."""
+    if zero_pad_factor < 1:
+        raise SignalProcessingError("zero_pad_factor must be >= 1")
+    n_fft = chirp.num_samples * zero_pad_factor
+    beat_frequencies = np.arange(n_fft // 2) * chirp.sample_rate / n_fft
+    return np.asarray(chirp.beat_frequency_to_distance(beat_frequencies))
+
+
+def beat_spectrum(beat_samples: np.ndarray, chirp: ChirpConfig, *,
+                  window: str = "hann", zero_pad_factor: int = 2) -> np.ndarray:
+    """Power spectrum (|range FFT|^2) of the beat signal."""
+    profile = range_fft(beat_samples, chirp, window=window,
+                        zero_pad_factor=zero_pad_factor)
+    return np.abs(profile) ** 2
+
+
+def find_spectral_peaks(power: np.ndarray, *, min_height: float = 0.0,
+                        min_separation: int = 1,
+                        max_peaks: int | None = None) -> list[int]:
+    """Indices of local maxima in a 1-D power spectrum, strongest first.
+
+    A bin is a peak when it strictly exceeds both neighbours and reaches
+    ``min_height``. Peaks closer than ``min_separation`` bins to an already
+    accepted (stronger) peak are suppressed.
+    """
+    spectrum = np.asarray(power, dtype=float)
+    if spectrum.ndim != 1:
+        raise SignalProcessingError(
+            f"find_spectral_peaks expects 1-D input, got shape {spectrum.shape}"
+        )
+    if spectrum.size < 3:
+        return []
+    if min_separation < 1:
+        raise SignalProcessingError("min_separation must be >= 1")
+
+    interior = spectrum[1:-1]
+    is_peak = (interior > spectrum[:-2]) & (interior >= spectrum[2:])
+    candidates = np.nonzero(is_peak & (interior >= min_height))[0] + 1
+    # Strongest-first greedy suppression of nearby peaks.
+    order = candidates[np.argsort(spectrum[candidates])[::-1]]
+    accepted: list[int] = []
+    for idx in order:
+        if all(abs(idx - kept) >= min_separation for kept in accepted):
+            accepted.append(int(idx))
+            if max_peaks is not None and len(accepted) >= max_peaks:
+                break
+    return accepted

@@ -1,0 +1,77 @@
+"""Window functions for spectral analysis.
+
+Implemented directly (rather than via scipy) so the exact taper used by the
+range FFT is visible and testable; these are the textbook cosine-sum forms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SignalProcessingError
+
+__all__ = ["get_window", "rectangular", "hann", "hamming", "blackman"]
+
+
+def _check_length(length: int) -> None:
+    if length < 1:
+        raise SignalProcessingError(f"window length must be >= 1, got {length}")
+
+
+def rectangular(length: int) -> np.ndarray:
+    """All-ones window (no taper)."""
+    _check_length(length)
+    return np.ones(length)
+
+
+def hann(length: int) -> np.ndarray:
+    """Hann window: strong sidelobe suppression, ~2-bin mainlobe widening."""
+    _check_length(length)
+    if length == 1:
+        return np.ones(1)
+    n = np.arange(length)
+    return 0.5 - 0.5 * np.cos(2.0 * np.pi * n / (length - 1))
+
+
+def hamming(length: int) -> np.ndarray:
+    """Hamming window: non-zero endpoints, lower first sidelobe than Hann."""
+    _check_length(length)
+    if length == 1:
+        return np.ones(1)
+    n = np.arange(length)
+    return 0.54 - 0.46 * np.cos(2.0 * np.pi * n / (length - 1))
+
+
+def blackman(length: int) -> np.ndarray:
+    """Blackman window: widest mainlobe, deepest sidelobes of the set."""
+    _check_length(length)
+    if length == 1:
+        return np.ones(1)
+    n = np.arange(length)
+    x = 2.0 * np.pi * n / (length - 1)
+    return 0.42 - 0.5 * np.cos(x) + 0.08 * np.cos(2.0 * x)
+
+
+_WINDOWS = {
+    "rectangular": rectangular,
+    "boxcar": rectangular,
+    "hann": hann,
+    "hamming": hamming,
+    "blackman": blackman,
+}
+
+
+def get_window(name: str, length: int) -> np.ndarray:
+    """Return the named window of the given length.
+
+    Raises :class:`SignalProcessingError` for unknown names so typos fail
+    loudly instead of silently falling back to a rectangular window.
+    """
+    try:
+        factory = _WINDOWS[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_WINDOWS))
+        raise SignalProcessingError(
+            f"unknown window {name!r}; known windows: {known}"
+        ) from None
+    return factory(length)

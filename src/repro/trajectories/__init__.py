@@ -1,0 +1,37 @@
+"""Human trajectory data: synthesis, labelling, datasets, and IO.
+
+The paper trains its cGAN on 7000 ten-second 50-point traces collected from
+volunteers in an office (Sec. 6). That dataset is not public; this package
+replaces it with a human-motion simulator producing traces with the same
+format and the same 5-class range-of-motion labelling.
+"""
+
+from repro.trajectories.dataset import TrajectoryDataset
+from repro.trajectories.floorplan import (
+    FloorPlan,
+    FloorPlanConstraint,
+    Wall,
+    count_wall_crossings,
+)
+from repro.trajectories.io import load_dataset, save_dataset
+from repro.trajectories.labels import (
+    DEFAULT_RANGE_EDGES,
+    range_class,
+    range_class_of_trajectory,
+)
+from repro.trajectories.synthesis import HumanMotionSimulator, MotionProfile
+
+__all__ = [
+    "DEFAULT_RANGE_EDGES",
+    "FloorPlan",
+    "FloorPlanConstraint",
+    "HumanMotionSimulator",
+    "MotionProfile",
+    "TrajectoryDataset",
+    "Wall",
+    "count_wall_crossings",
+    "load_dataset",
+    "range_class",
+    "range_class_of_trajectory",
+    "save_dataset",
+]

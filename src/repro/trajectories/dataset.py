@@ -1,0 +1,132 @@
+"""Trajectory dataset container: batching, splitting, normalization.
+
+The GAN consumes trajectories in *step representation*: the ``(T-1, 2)``
+sequence of displacements between consecutive points, normalized by a
+dataset-wide scale. Steps are the natural domain for generating motion —
+smoothness and speed statistics are local properties of steps, and
+integrating generated steps guarantees a continuous trajectory.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.trajectories.labels import range_class_of_trajectory
+from repro.types import Trajectory
+
+__all__ = ["TrajectoryDataset"]
+
+
+class TrajectoryDataset:
+    """An immutable list of equally-long, equally-sampled trajectories."""
+
+    def __init__(self, trajectories: Sequence[Trajectory]) -> None:
+        if not trajectories:
+            raise DatasetError("dataset must contain at least one trajectory")
+        first = trajectories[0]
+        for trajectory in trajectories:
+            if len(trajectory) != len(first):
+                raise DatasetError(
+                    f"all trajectories must have {len(first)} points, "
+                    f"found one with {len(trajectory)}"
+                )
+            if abs(trajectory.dt - first.dt) > 1e-9:
+                raise DatasetError("all trajectories must share the same dt")
+        self.trajectories = list(trajectories)
+        self.num_points = len(first)
+        self.dt = first.dt
+
+    def __len__(self) -> int:
+        return len(self.trajectories)
+
+    def __getitem__(self, index: int) -> Trajectory:
+        return self.trajectories[index]
+
+    def __iter__(self) -> Iterator[Trajectory]:
+        return iter(self.trajectories)
+
+    def labels(self) -> np.ndarray:
+        """Range-class labels, computing any that are missing."""
+        return np.array([
+            t.label if t.label is not None else range_class_of_trajectory(t)
+            for t in self.trajectories
+        ], dtype=np.int64)
+
+    def class_counts(self, num_classes: int = 5) -> np.ndarray:
+        """Trajectories per range class."""
+        return np.bincount(self.labels(), minlength=num_classes)
+
+    def positions_array(self) -> np.ndarray:
+        """All trajectories as ``(N, T, 2)`` positions."""
+        return np.stack([t.points for t in self.trajectories])
+
+    def steps_array(self) -> np.ndarray:
+        """All trajectories as ``(N, T-1, 2)`` displacement steps."""
+        positions = self.positions_array()
+        return np.diff(positions, axis=1)
+
+    def step_scale(self) -> float:
+        """Dataset-wide RMS step length — the GAN's normalization scale."""
+        steps = self.steps_array()
+        scale = float(np.sqrt(np.mean(steps ** 2)))
+        if scale <= 0:
+            raise DatasetError("degenerate dataset: all trajectories are static")
+        return scale
+
+    def normalized_steps(self, scale: float | None = None) -> np.ndarray:
+        """Steps divided by ``scale`` (dataset RMS step by default)."""
+        if scale is None:
+            scale = self.step_scale()
+        if scale <= 0:
+            raise DatasetError("scale must be positive")
+        return self.steps_array() / scale
+
+    def split(self, fraction: float,
+              rng: np.random.Generator) -> tuple["TrajectoryDataset", "TrajectoryDataset"]:
+        """Random split into two datasets of ``fraction`` / ``1 - fraction``.
+
+        Both halves must be non-empty; used e.g. for the real-vs-real FID
+        reference (Fig. 12 normalization).
+        """
+        if not 0.0 < fraction < 1.0:
+            raise DatasetError(f"fraction must be in (0, 1), got {fraction}")
+        order = rng.permutation(len(self))
+        cut = int(round(fraction * len(self)))
+        if cut == 0 or cut == len(self):
+            raise DatasetError("split produced an empty half; dataset too small")
+        first = [self.trajectories[i] for i in order[:cut]]
+        second = [self.trajectories[i] for i in order[cut:]]
+        return TrajectoryDataset(first), TrajectoryDataset(second)
+
+    def batches(self, batch_size: int, rng: np.random.Generator, *,
+                scale: float | None = None) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Shuffled mini-batches of ``(normalized_steps, labels)``.
+
+        Yields ``(B, T-1, 2)`` float arrays with ``(B,)`` int labels; the
+        final short batch is dropped (GAN training prefers constant batch
+        statistics).
+        """
+        if batch_size < 1:
+            raise DatasetError("batch_size must be >= 1")
+        steps = self.normalized_steps(scale)
+        labels = self.labels()
+        order = rng.permutation(len(self))
+        for start in range(0, len(self) - batch_size + 1, batch_size):
+            index = order[start: start + batch_size]
+            yield steps[index], labels[index]
+
+    def subset(self, indices: Sequence[int]) -> "TrajectoryDataset":
+        """Dataset restricted to the given indices."""
+        chosen = [self.trajectories[i] for i in indices]
+        return TrajectoryDataset(chosen)
+
+    def filter_by_class(self, label: int) -> "TrajectoryDataset":
+        """All trajectories of one range class; raises if none exist."""
+        labels = self.labels()
+        indices = np.nonzero(labels == label)[0]
+        if indices.size == 0:
+            raise DatasetError(f"no trajectories with class {label}")
+        return self.subset(indices.tolist())

@@ -1,0 +1,52 @@
+"""Dataset persistence as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.trajectories.dataset import TrajectoryDataset
+from repro.types import Trajectory
+
+__all__ = ["save_dataset", "load_dataset"]
+
+_FORMAT_VERSION = 1
+
+
+def save_dataset(dataset: TrajectoryDataset, path: str | os.PathLike) -> None:
+    """Write a dataset to ``path`` as a compressed npz archive."""
+    np.savez_compressed(
+        path,
+        version=np.array(_FORMAT_VERSION),
+        positions=dataset.positions_array(),
+        labels=dataset.labels(),
+        dt=np.array(dataset.dt),
+    )
+
+
+def load_dataset(path: str | os.PathLike) -> TrajectoryDataset:
+    """Load a dataset written by :func:`save_dataset`."""
+    with np.load(path) as archive:
+        missing = {"version", "positions", "labels", "dt"} - set(archive.files)
+        if missing:
+            raise DatasetError(f"archive is missing entries: {sorted(missing)}")
+        version = int(archive["version"])
+        if version != _FORMAT_VERSION:
+            raise DatasetError(
+                f"unsupported dataset format version {version} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        positions = archive["positions"]
+        labels = archive["labels"]
+        dt = float(archive["dt"])
+    if positions.ndim != 3 or positions.shape[2] != 2:
+        raise DatasetError(f"positions must be (N, T, 2), got {positions.shape}")
+    if labels.shape != (positions.shape[0],):
+        raise DatasetError("labels length does not match trajectory count")
+    trajectories = [
+        Trajectory(points, dt=dt, label=int(label))
+        for points, label in zip(positions, labels)
+    ]
+    return TrajectoryDataset(trajectories)

@@ -1,0 +1,170 @@
+"""Human-motion simulator: the substitute for the paper's office dataset.
+
+Produces 50-point, 10-second 2-D traces (the paper's trace format) using a
+waypoint-seeking second-order walker: the subject picks goals inside a
+walking area and steers toward them with bounded acceleration, smooth
+heading changes, occasional pauses, and gait jitter. Five
+:class:`MotionProfile` activity levels span near-stationary shuffling to
+brisk walking, giving the dataset the range-of-motion diversity the paper's
+5-class conditioning relies on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro import constants
+from repro.errors import DatasetError
+from repro.geometry import Rectangle
+from repro.trajectories.dataset import TrajectoryDataset
+from repro.trajectories.labels import range_class_of_trajectory
+from repro.types import Trajectory
+
+__all__ = ["HumanMotionSimulator", "MotionProfile"]
+
+
+@dataclasses.dataclass(frozen=True)
+class MotionProfile:
+    """Parameters of one activity level.
+
+    Attributes:
+        preferred_speed: cruising speed toward the goal, m/s.
+        goal_radius: goals are sampled within this radius of the current
+            position — small radii keep motion local (pottering), large
+            radii produce room-crossing walks.
+        pause_probability: per-step chance of standing still for a moment.
+        jitter: std-dev of per-step acceleration noise (gait sway), m/s^2.
+    """
+
+    preferred_speed: float
+    goal_radius: float
+    pause_probability: float
+    jitter: float
+
+    def __post_init__(self) -> None:
+        if self.preferred_speed < 0 or self.goal_radius <= 0:
+            raise DatasetError("speed must be >= 0 and goal radius positive")
+        if not 0 <= self.pause_probability < 1:
+            raise DatasetError("pause probability must be in [0, 1)")
+        if self.jitter < 0:
+            raise DatasetError("jitter must be >= 0")
+
+
+DEFAULT_PROFILES = (
+    MotionProfile(preferred_speed=0.05, goal_radius=0.4,
+                  pause_probability=0.35, jitter=0.05),
+    MotionProfile(preferred_speed=0.25, goal_radius=1.0,
+                  pause_probability=0.20, jitter=0.10),
+    MotionProfile(preferred_speed=0.55, goal_radius=2.2,
+                  pause_probability=0.10, jitter=0.15),
+    MotionProfile(preferred_speed=0.95, goal_radius=4.0,
+                  pause_probability=0.05, jitter=0.20),
+    MotionProfile(preferred_speed=1.40, goal_radius=7.0,
+                  pause_probability=0.02, jitter=0.25),
+)
+"""One profile per range class, slowest to fastest."""
+
+
+class HumanMotionSimulator:
+    """Generates human-like 2-D traces inside a walking area."""
+
+    def __init__(self, area: Rectangle | None = None, *,
+                 num_points: int = constants.TRACE_NUM_POINTS,
+                 duration: float = constants.TRACE_DURATION_S,
+                 profiles: tuple[MotionProfile, ...] = DEFAULT_PROFILES,
+                 rng: np.random.Generator | None = None) -> None:
+        if num_points < 2:
+            raise DatasetError("traces need at least 2 points")
+        if duration <= 0:
+            raise DatasetError("duration must be positive")
+        if not profiles:
+            raise DatasetError("need at least one motion profile")
+        if area is None:
+            area = Rectangle.from_size(*constants.OFFICE_SIZE_M)
+        self.area = area
+        self.num_points = num_points
+        self.duration = duration
+        self.profiles = profiles
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    @property
+    def dt(self) -> float:
+        return self.duration / (self.num_points - 1)
+
+    def sample_trajectory(self, profile_index: int | None = None) -> Trajectory:
+        """Generate one trace; profile drawn at random when unspecified.
+
+        The trajectory's ``label`` is its *measured* range class (from the
+        realized motion), not the requested profile: a fast profile that
+        happened to dawdle is labelled by what it actually did, exactly as
+        the paper labels measured traces.
+        """
+        rng = self.rng
+        if profile_index is None:
+            profile_index = int(rng.integers(len(self.profiles)))
+        if not 0 <= profile_index < len(self.profiles):
+            raise DatasetError(
+                f"profile index {profile_index} outside "
+                f"[0, {len(self.profiles)})"
+            )
+        profile = self.profiles[profile_index]
+        margin = 0.3
+        position = self.area.sample_interior(rng, margin=margin)
+        velocity = np.zeros(2)
+        goal = self._sample_goal(position, profile, margin)
+        points = [position.copy()]
+        paused_steps = 0
+
+        for _ in range(self.num_points - 1):
+            if paused_steps > 0:
+                paused_steps -= 1
+                velocity *= 0.4
+            else:
+                if rng.random() < profile.pause_probability:
+                    paused_steps = int(rng.integers(1, 4))
+                to_goal = goal - position
+                distance = float(np.linalg.norm(to_goal))
+                if distance < 0.25:
+                    goal = self._sample_goal(position, profile, margin)
+                    to_goal = goal - position
+                    distance = float(np.linalg.norm(to_goal))
+                desired_velocity = to_goal / max(distance, 1e-9) * profile.preferred_speed
+                # Second-order steering: bounded pull toward desired velocity.
+                acceleration = 2.0 * (desired_velocity - velocity)
+                acceleration += rng.normal(0.0, profile.jitter, 2)
+                velocity = velocity + acceleration * self.dt
+                speed = float(np.linalg.norm(velocity))
+                max_speed = 1.6 * profile.preferred_speed + 0.1
+                if speed > max_speed:
+                    velocity *= max_speed / speed
+            position = self.area.clamp(position + velocity * self.dt, margin=margin)
+            points.append(position.copy())
+
+        trajectory = Trajectory(np.vstack(points), dt=self.dt)
+        return trajectory.replace(label=range_class_of_trajectory(trajectory))
+
+    def _sample_goal(self, position: np.ndarray, profile: MotionProfile,
+                     margin: float) -> np.ndarray:
+        rng = self.rng
+        angle = rng.uniform(0.0, 2.0 * np.pi)
+        radius = rng.uniform(0.3, 1.0) * profile.goal_radius
+        candidate = position + radius * np.array([np.cos(angle), np.sin(angle)])
+        return self.area.clamp(candidate, margin=margin)
+
+    def build_dataset(self, num_traces: int, *,
+                      balanced: bool = True) -> TrajectoryDataset:
+        """Generate a dataset of traces.
+
+        With ``balanced=True``, profiles are cycled so every activity level
+        is equally represented (the realized class mix still varies since
+        labels come from measured ranges).
+        """
+        if num_traces < 1:
+            raise DatasetError("num_traces must be >= 1")
+        trajectories = []
+        for i in range(num_traces):
+            profile = i % len(self.profiles) if balanced else None
+            trajectories.append(self.sample_trajectory(profile))
+        return TrajectoryDataset(trajectories)

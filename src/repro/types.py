@@ -1,0 +1,195 @@
+"""Core value types shared across the library.
+
+The central type is :class:`Trajectory`, a uniformly-sampled sequence of 2-D
+positions. Every subsystem (motion simulator, GAN, reflector controller,
+radar tracker, metrics) speaks this type, so conversions live here rather
+than being re-derived ad hoc at call sites.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["PolarPoint", "Trajectory", "as_points_array"]
+
+
+def as_points_array(points: Sequence | np.ndarray) -> np.ndarray:
+    """Coerce ``points`` into a float ``(T, 2)`` array.
+
+    Raises :class:`ConfigurationError` when the input cannot be interpreted
+    as a sequence of 2-D points or when it contains non-finite values.
+    """
+    arr = np.asarray(points, dtype=float)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ConfigurationError(
+            f"expected an (T, 2) array of 2-D points, got shape {arr.shape}"
+        )
+    if arr.shape[0] == 0:
+        raise ConfigurationError("trajectory must contain at least one point")
+    if not np.all(np.isfinite(arr)):
+        raise ConfigurationError("trajectory points must be finite")
+    return arr
+
+
+@dataclasses.dataclass(frozen=True)
+class PolarPoint:
+    """A point in polar coordinates relative to some origin.
+
+    ``radius`` is in meters; ``angle`` is in radians, measured
+    counter-clockwise from the +x axis.
+    """
+
+    radius: float
+    angle: float
+
+    def to_cartesian(self, origin: tuple[float, float] = (0.0, 0.0)) -> np.ndarray:
+        """Return the (x, y) position of this polar point."""
+        ox, oy = origin
+        return np.array(
+            [ox + self.radius * math.cos(self.angle),
+             oy + self.radius * math.sin(self.angle)]
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class Trajectory:
+    """A uniformly-sampled 2-D trajectory.
+
+    Attributes:
+        points: ``(T, 2)`` float array of (x, y) positions in meters.
+        dt: sampling interval in seconds between consecutive points.
+        label: optional range-of-motion class label (Sec. 6 of the paper).
+    """
+
+    points: np.ndarray
+    dt: float
+    label: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "points", as_points_array(self.points))
+        if self.dt <= 0:
+            raise ConfigurationError(f"dt must be positive, got {self.dt}")
+
+    def __len__(self) -> int:
+        return self.points.shape[0]
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return iter(self.points)
+
+    @property
+    def duration(self) -> float:
+        """Total time spanned by the trajectory in seconds."""
+        return (len(self) - 1) * self.dt
+
+    @property
+    def times(self) -> np.ndarray:
+        """Sample times, starting at zero."""
+        return np.arange(len(self)) * self.dt
+
+    def displacements(self) -> np.ndarray:
+        """Per-step displacement vectors, shape ``(T-1, 2)``."""
+        return np.diff(self.points, axis=0)
+
+    def step_lengths(self) -> np.ndarray:
+        """Per-step Euclidean step lengths, shape ``(T-1,)``."""
+        return np.linalg.norm(self.displacements(), axis=1)
+
+    def path_length(self) -> float:
+        """Total arc length of the trajectory in meters."""
+        return float(self.step_lengths().sum())
+
+    def speeds(self) -> np.ndarray:
+        """Per-step speeds in m/s, shape ``(T-1,)``."""
+        return self.step_lengths() / self.dt
+
+    def headings(self) -> np.ndarray:
+        """Per-step headings in radians, shape ``(T-1,)``."""
+        d = self.displacements()
+        return np.arctan2(d[:, 1], d[:, 0])
+
+    def turning_angles(self) -> np.ndarray:
+        """Signed turning angles between consecutive steps, wrapped to [-pi, pi]."""
+        h = self.headings()
+        raw = np.diff(h)
+        return (raw + np.pi) % (2.0 * np.pi) - np.pi
+
+    def motion_range(self) -> float:
+        """The trajectory's diameter: largest distance between two points.
+
+        This is the "range of motion" the paper classifies traces by
+        (Sec. 6); unlike a bounding-box measure it is rotation invariant.
+        """
+        diffs = self.points[:, None, :] - self.points[None, :, :]
+        return float(np.sqrt((diffs ** 2).sum(axis=2)).max())
+
+    def centroid(self) -> np.ndarray:
+        """Mean position, shape ``(2,)``."""
+        return self.points.mean(axis=0)
+
+    def centered(self) -> "Trajectory":
+        """Return a copy translated so the centroid is at the origin."""
+        return self.replace(points=self.points - self.centroid())
+
+    def translated(self, offset: Sequence[float]) -> "Trajectory":
+        """Return a copy translated by ``offset`` = (dx, dy)."""
+        off = np.asarray(offset, dtype=float)
+        if off.shape != (2,):
+            raise ConfigurationError(f"offset must have shape (2,), got {off.shape}")
+        return self.replace(points=self.points + off)
+
+    def rotated(self, angle: float, about: Sequence[float] = (0.0, 0.0)) -> "Trajectory":
+        """Return a copy rotated by ``angle`` radians about ``about``."""
+        c, s = math.cos(angle), math.sin(angle)
+        rot = np.array([[c, -s], [s, c]])
+        pivot = np.asarray(about, dtype=float)
+        return self.replace(points=(self.points - pivot) @ rot.T + pivot)
+
+    def scaled(self, factor: float) -> "Trajectory":
+        """Return a copy scaled about the origin by ``factor``."""
+        if factor <= 0:
+            raise ConfigurationError(f"scale factor must be positive, got {factor}")
+        return self.replace(points=self.points * factor)
+
+    def resampled(self, num_points: int) -> "Trajectory":
+        """Return a copy resampled to ``num_points`` via linear interpolation."""
+        if num_points < 2:
+            raise ConfigurationError("resampling needs at least 2 points")
+        old_t = self.times
+        new_t = np.linspace(old_t[0], old_t[-1], num_points)
+        new_dt = self.duration / (num_points - 1) if self.duration > 0 else self.dt
+        xs = np.interp(new_t, old_t, self.points[:, 0])
+        ys = np.interp(new_t, old_t, self.points[:, 1])
+        return Trajectory(np.column_stack([xs, ys]), dt=new_dt, label=self.label)
+
+    def to_polar(self, origin: Sequence[float] = (0.0, 0.0)) -> list[PolarPoint]:
+        """Convert to polar coordinates relative to ``origin``."""
+        ox, oy = (float(v) for v in origin)
+        rel = self.points - np.array([ox, oy])
+        radii = np.hypot(rel[:, 0], rel[:, 1])
+        angles = np.arctan2(rel[:, 1], rel[:, 0])
+        return [PolarPoint(float(r), float(a)) for r, a in zip(radii, angles)]
+
+    def position_at(self, t: float) -> np.ndarray:
+        """Linearly interpolated position at time ``t`` (clamped to the span)."""
+        t = min(max(t, 0.0), self.duration)
+        x = np.interp(t, self.times, self.points[:, 0])
+        y = np.interp(t, self.times, self.points[:, 1])
+        return np.array([x, y])
+
+    def replace(self, **changes) -> "Trajectory":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+    @staticmethod
+    def from_polar(points: Sequence[PolarPoint], dt: float,
+                   origin: Sequence[float] = (0.0, 0.0),
+                   label: int | None = None) -> "Trajectory":
+        """Build a trajectory from polar points around ``origin``."""
+        cart = np.array([p.to_cartesian(tuple(origin)) for p in points])
+        return Trajectory(cart, dt=dt, label=label)

@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite.
+
+Expensive artifacts (trained tiny GAN, sensing sessions) are session-scoped
+and memoized so the suite stays fast while many tests exercise them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.artifacts import motion_dataset, trained_gan
+from repro.experiments.environments import home_environment, office_environment
+from repro.trajectories import HumanMotionSimulator
+from repro.types import Trajectory
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fresh, fixed-seed generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def office_env():
+    return office_environment()
+
+
+@pytest.fixture(scope="session")
+def home_env():
+    return home_environment()
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """120 simulated human traces (memoized across the suite)."""
+    return motion_dataset(120, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_gan():
+    """A tiny trained GAN shared by all tests that need one."""
+    return trained_gan("tiny", seed=0)
+
+
+@pytest.fixture()
+def straight_walk() -> Trajectory:
+    """A 50-point straight walk used across radar tests."""
+    points = np.linspace([3.0, 2.0], [6.0, 5.0], 50)
+    return Trajectory(points, dt=10.0 / 49.0)
+
+
+@pytest.fixture()
+def sample_trajectory(rng) -> Trajectory:
+    """One simulated human trace."""
+    simulator = HumanMotionSimulator(rng=rng)
+    return simulator.sample_trajectory(profile_index=2)

@@ -1,0 +1,72 @@
+"""Tests for the artifact cache, the error hierarchy, and package metadata."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import constants, errors
+from repro.errors import ExperimentError, ReproError
+from repro.experiments.artifacts import motion_dataset, trained_gan
+
+
+class TestArtifacts:
+    def test_dataset_memoized(self):
+        first = motion_dataset(50, seed=3)
+        second = motion_dataset(50, seed=3)
+        assert first is second
+
+    def test_different_seed_different_dataset(self):
+        a = motion_dataset(50, seed=4)
+        b = motion_dataset(50, seed=5)
+        assert a is not b
+        assert not np.allclose(a.positions_array(), b.positions_array())
+
+    def test_gan_memoized(self, tiny_gan):
+        again = trained_gan("tiny", seed=0)
+        assert again is tiny_gan
+
+    def test_unknown_quality_rejected(self):
+        with pytest.raises(ExperimentError):
+            trained_gan("impossible")
+
+    def test_artifacts_are_usable(self, tiny_gan):
+        samples = tiny_gan.sampler.sample(3, rng=np.random.default_rng(0))
+        assert len(samples) == 3
+        assert tiny_gan.quality == "tiny"
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("name", [
+        "ConfigurationError", "SignalProcessingError", "SceneError",
+        "ReflectorError", "TrackingError", "DatasetError", "GradientError",
+        "TrainingError", "ExperimentError",
+    ])
+    def test_all_derive_from_repro_error(self, name):
+        error_class = getattr(errors, name)
+        assert issubclass(error_class, ReproError)
+
+    def test_catchable_as_base(self):
+        from repro.types import Trajectory
+        with pytest.raises(ReproError):
+            Trajectory([[0, 0]], dt=0.0)
+
+
+class TestConstants:
+    def test_range_resolution_consistent(self):
+        assert constants.RANGE_RESOLUTION_M == pytest.approx(
+            constants.SPEED_OF_LIGHT / (2 * constants.CHIRP_BANDWIDTH_HZ)
+        )
+
+    def test_paper_values(self):
+        assert constants.RADAR_NUM_ANTENNAS == 7
+        assert constants.PANEL_NUM_ANTENNAS == 6
+        assert constants.PANEL_ANTENNA_SPACING_M == pytest.approx(0.20)
+        assert constants.TRACE_NUM_POINTS == 50
+        assert constants.NUM_RANGE_CLASSES == 5
+        assert constants.OFFICE_SIZE_M == (10.0, 6.6)
+        assert constants.HOME_SIZE_M == (15.24, 7.62)
+
+    def test_version_exposed(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)

@@ -1,0 +1,182 @@
+"""Tests for repro.eavesdropper: inference, the smart classifier, and the
+legitimate sensor's ghost filtering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TrackingError
+from repro.eavesdropper import (
+    TrajectoryRealnessClassifier,
+    count_occupants,
+    estimate_breathing_period,
+    filter_ghost_trajectories,
+    is_occupied,
+)
+from repro.gan import random_motion_baseline, single_trajectory_baseline
+from repro.geometry import Rectangle
+from repro.radar import FmcwRadar, RadarConfig, Scene
+from repro.radar.scene import BreathingSpec
+from repro.reflector.tag import GhostReport
+from repro.trajectories import HumanMotionSimulator
+from repro.types import Trajectory
+
+
+def _radar():
+    return FmcwRadar(RadarConfig(position=(5.0, 0.1), axis_angle=0.0,
+                                 facing_angle=np.pi / 2))
+
+
+def _sense(scene_builder, duration=8.0, seed=6):
+    radar = _radar()
+    scene = Scene(Rectangle.from_size(10.0, 6.6))
+    scene_builder(scene)
+    return radar.sense(scene, duration, rng=np.random.default_rng(seed))
+
+
+class TestOccupancyInference:
+    def test_empty_room_unoccupied(self):
+        result = _sense(lambda s: s.add_static((3.0, 3.0), rcs=4.0))
+        assert not is_occupied(result)
+
+    def test_walker_detected(self, straight_walk):
+        result = _sense(lambda s: s.add_human(straight_walk))
+        assert is_occupied(result)
+
+    def test_count_single_walker(self, straight_walk):
+        result = _sense(lambda s: s.add_human(straight_walk))
+        assert count_occupants(result) == 1
+
+    def test_count_two_walkers(self):
+        walk_a = Trajectory(np.linspace([2.0, 2.0], [2.5, 5.0], 50),
+                            dt=8.0 / 49.0)
+        walk_b = Trajectory(np.linspace([8.0, 5.0], [7.5, 2.0], 50),
+                            dt=8.0 / 49.0)
+
+        def build(scene):
+            scene.add_human(walk_a)
+            scene.add_human(walk_b)
+
+        result = _sense(build)
+        assert count_occupants(result) == 2
+
+    def test_count_zero_in_empty_room(self):
+        result = _sense(lambda s: None)
+        assert count_occupants(result) == 0
+
+    def test_count_rejects_bad_fraction(self, straight_walk):
+        result = _sense(lambda s: s.add_human(straight_walk))
+        with pytest.raises(TrackingError):
+            count_occupants(result, min_overlap_fraction=0.0)
+
+
+class TestBreathingEstimation:
+    def test_recovers_breathing_period(self):
+        position = np.array([5.0, 4.0])
+
+        def build(scene):
+            scene.add_human(
+                Trajectory(np.vstack([position, position]), dt=30.0),
+                breathing=BreathingSpec(frequency=0.25),
+                rcs_fluctuation=0.0,
+            )
+
+        result = _sense(build, duration=30.0)
+        distance = _radar().array.range_to(position)
+        period = estimate_breathing_period(result, distance)
+        assert period == pytest.approx(4.0, rel=0.05)
+
+
+class TestRealnessClassifier:
+    def test_separates_random_motion_easily(self, rng, small_dataset):
+        fakes = random_motion_baseline(60, rng,
+                                       step_scale=small_dataset.step_scale())
+        classifier = TrajectoryRealnessClassifier()
+        real_train, real_test = small_dataset.split(0.5, rng)
+        classifier.fit(real_train, fakes.subset(range(30)))
+        accuracy = classifier.accuracy(real_test, fakes.subset(range(30, 60)))
+        assert accuracy > 0.85
+
+    def test_separates_repeated_trajectory(self, rng, small_dataset):
+        reference = small_dataset[0]
+        fakes = single_trajectory_baseline(reference, 60, rng)
+        classifier = TrajectoryRealnessClassifier()
+        real_train, real_test = small_dataset.split(0.5, rng)
+        classifier.fit(real_train, fakes.subset(range(30)))
+        accuracy = classifier.accuracy(real_test, fakes.subset(range(30, 60)))
+        assert accuracy > 0.6
+
+    def test_cannot_separate_real_from_real(self, rng, small_dataset):
+        half_a, half_b = small_dataset.split(0.5, rng)
+        quarter_a, quarter_b = half_a.split(0.5, rng)
+        classifier = TrajectoryRealnessClassifier()
+        classifier.fit(quarter_a, quarter_b)  # "fake" is also real
+        test_a, test_b = half_b.split(0.5, rng)
+        accuracy = classifier.accuracy(test_a, test_b)
+        assert abs(accuracy - 0.5) < 0.2
+
+    def test_predict_before_fit_raises(self, small_dataset):
+        classifier = TrajectoryRealnessClassifier()
+        with pytest.raises(ConfigurationError):
+            classifier.predict(small_dataset)
+
+    def test_probabilities_in_unit_interval(self, rng, small_dataset):
+        fakes = random_motion_baseline(20, rng)
+        classifier = TrajectoryRealnessClassifier()
+        classifier.fit(small_dataset, fakes)
+        probabilities = classifier.predict_probability(small_dataset)
+        assert np.all((probabilities >= 0) & (probabilities <= 1))
+
+    def test_rejects_bad_hyperparameters(self):
+        with pytest.raises(ConfigurationError):
+            TrajectoryRealnessClassifier(learning_rate=0.0)
+
+
+class TestGhostFiltering:
+    def _report(self, trajectory, ghost_id=0):
+        return GhostReport(ghost_id=ghost_id, trajectory=trajectory,
+                           start_time=0.0)
+
+    def test_exact_match_removed(self, sample_trajectory):
+        sensed = [sample_trajectory, sample_trajectory.translated([5.0, 0.0])]
+        reports = [self._report(sample_trajectory.centered())]
+        real, matches = filter_ghost_trajectories(sensed, reports)
+        assert len(matches) == 1
+        assert len(real) == 1
+
+    def test_rotated_ghost_still_matched(self, sample_trajectory):
+        # The sensed ghost is rotated/translated relative to the disclosed
+        # one (unknown radar pose) — matching must be rigid-invariant.
+        sensed_ghost = sample_trajectory.rotated(0.6).translated([2.0, 1.0])
+        other = Trajectory(np.linspace([0, 0], [3, 1], 50), dt=0.2)
+        real, matches = filter_ghost_trajectories(
+            [other, sensed_ghost], [self._report(sample_trajectory)]
+        )
+        assert len(matches) == 1
+        assert matches[0].trajectory_index == 1
+        assert real == [other]
+
+    def test_unrelated_trajectory_not_removed(self, sample_trajectory):
+        walk = Trajectory(np.linspace([0, 0], [4, 0], 50), dt=0.2)
+        real, matches = filter_ghost_trajectories(
+            [walk], [self._report(sample_trajectory)]
+        )
+        assert matches == []
+        assert real == [walk]
+
+    def test_one_to_one_assignment(self, sample_trajectory):
+        # Two near-identical sensed trajectories, one report: only one is
+        # claimed.
+        twin = sample_trajectory.translated([0.02, 0.0])
+        real, matches = filter_ghost_trajectories(
+            [sample_trajectory, twin], [self._report(sample_trajectory)]
+        )
+        assert len(matches) == 1
+        assert len(real) == 1
+
+    def test_empty_inputs(self):
+        assert filter_ghost_trajectories([], []) == ([], [])
+
+    def test_rejects_bad_threshold(self, sample_trajectory):
+        with pytest.raises(TrackingError):
+            filter_ghost_trajectories([sample_trajectory], [],
+                                      match_threshold=0.0)

@@ -1,0 +1,124 @@
+"""Tests for repro.trajectories.floorplan (Sec. 8 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.geometry import Rectangle
+from repro.trajectories import (
+    FloorPlan,
+    FloorPlanConstraint,
+    Wall,
+    count_wall_crossings,
+)
+from repro.types import Trajectory
+
+
+@pytest.fixture()
+def plan():
+    footprint = Rectangle.from_size(10.0, 6.0)
+    return FloorPlan(footprint, walls=[Wall((5.0, 0.0), (5.0, 4.0))])
+
+
+class TestWall:
+    def test_rejects_degenerate(self):
+        with pytest.raises(DatasetError):
+            Wall((1.0, 1.0), (1.0, 1.0))
+
+
+class TestFloorPlan:
+    def test_rejects_wall_outside_room(self):
+        footprint = Rectangle.from_size(4.0, 4.0)
+        with pytest.raises(DatasetError):
+            FloorPlan(footprint, walls=[Wall((1.0, 1.0), (9.0, 1.0))])
+
+    def test_step_crossing_detected(self, plan):
+        assert plan.step_crosses_wall(np.array([4.0, 2.0]),
+                                      np.array([6.0, 2.0]))
+
+    def test_step_through_doorway_allowed(self, plan):
+        # The wall spans y in [0, 4]; crossing above it is fine.
+        assert not plan.step_crosses_wall(np.array([4.0, 5.0]),
+                                          np.array([6.0, 5.0]))
+
+    def test_step_parallel_to_wall_allowed(self, plan):
+        assert not plan.step_crosses_wall(np.array([4.0, 1.0]),
+                                          np.array([4.0, 3.0]))
+
+    def test_touching_endpoint_counts(self, plan):
+        # Grazing the wall's end point is a contact.
+        assert plan.step_crosses_wall(np.array([4.0, 4.0]),
+                                      np.array([6.0, 4.0]))
+
+    def test_crossing_steps_indices(self, plan):
+        trajectory = Trajectory(
+            [[4.0, 2.0], [4.5, 2.0], [5.5, 2.0], [6.0, 2.0]], dt=1.0
+        )
+        assert list(plan.crossing_steps(trajectory)) == [1]
+        assert count_wall_crossings(trajectory, plan) == 1
+
+    def test_is_admissible(self, plan):
+        good = Trajectory([[1.0, 1.0], [2.0, 2.0], [3.0, 1.0]], dt=1.0)
+        bad = Trajectory([[4.0, 2.0], [6.0, 2.0]], dt=1.0)
+        outside = Trajectory([[1.0, 1.0], [11.0, 1.0]], dt=1.0)
+        assert plan.is_admissible(good)
+        assert not plan.is_admissible(bad)
+        assert not plan.is_admissible(outside)
+
+    def test_add_wall(self, plan):
+        plan.add_wall((7.0, 2.0), (9.0, 2.0))
+        assert plan.step_crosses_wall(np.array([8.0, 1.0]),
+                                      np.array([8.0, 3.0]))
+
+
+class TestFloorPlanConstraint:
+    def test_admissible_passes_through_unchanged(self, plan):
+        constraint = FloorPlanConstraint(plan)
+        trajectory = Trajectory([[1.0, 1.0], [2.0, 2.0], [3.0, 1.0]], dt=1.0)
+        admissible, rejected = constraint.filter([trajectory])
+        assert rejected == 0
+        assert admissible[0].points == pytest.approx(trajectory.points)
+
+    def test_glancing_crossing_repaired(self, plan):
+        # One point barely over the wall.
+        trajectory = Trajectory(
+            [[4.0, 2.0], [4.6, 2.0], [5.1, 2.0], [4.6, 2.4], [4.0, 2.4]],
+            dt=1.0,
+        )
+        constraint = FloorPlanConstraint(plan)
+        repaired = constraint.repair(trajectory)
+        assert repaired is not None
+        assert plan.is_admissible(repaired)
+
+    def test_deep_crossing_stops_at_wall(self, plan):
+        # Walks straight through and keeps going: repaired by halting.
+        trajectory = Trajectory(
+            np.column_stack([np.linspace(3.0, 8.0, 20), np.full(20, 2.0)]),
+            dt=0.5,
+        )
+        constraint = FloorPlanConstraint(plan)
+        repaired = constraint.repair(trajectory)
+        assert repaired is not None
+        assert plan.is_admissible(repaired)
+        # The repaired ghost never reaches the far room.
+        assert repaired.points[:, 0].max() < 5.1
+
+    def test_filter_counts_rejections(self, plan):
+        good = Trajectory([[1.0, 1.0], [2.0, 2.0], [1.5, 1.5]], dt=1.0)
+        deep = Trajectory(
+            np.column_stack([np.linspace(3.0, 8.0, 10), np.full(10, 2.0)]),
+            dt=0.5,
+        )
+        constraint = FloorPlanConstraint(plan)
+        admissible, rejected = constraint.filter([good, deep])
+        # The deep crossing is repairable via stop-at-wall, so nothing is
+        # rejected and both survive.
+        assert rejected == 0
+        assert len(admissible) == 2
+        assert all(plan.is_admissible(t) for t in admissible)
+
+    def test_rejects_bad_parameters(self, plan):
+        with pytest.raises(DatasetError):
+            FloorPlanConstraint(plan, margin=-0.1)
+        with pytest.raises(DatasetError):
+            FloorPlanConstraint(plan, max_repair_iterations=0)

@@ -1,0 +1,135 @@
+"""Tests for repro.geometry: angles, rigid alignment, rectangles."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry import (
+    Rectangle,
+    RigidTransform,
+    angle_difference,
+    rigid_align,
+    unit_vector,
+    wrap_angle,
+)
+
+
+class TestAngles:
+    def test_wrap_angle_identity_in_range(self):
+        assert wrap_angle(0.5) == pytest.approx(0.5)
+
+    def test_wrap_angle_wraps_positive(self):
+        assert wrap_angle(np.pi + 0.1) == pytest.approx(-np.pi + 0.1)
+
+    def test_wrap_angle_wraps_negative(self):
+        assert wrap_angle(-np.pi - 0.1) == pytest.approx(np.pi - 0.1)
+
+    def test_angle_difference_across_branch(self):
+        assert angle_difference(3.1, -3.1) == pytest.approx(
+            3.1 - (-3.1) - 2 * np.pi
+        )
+
+    def test_unit_vector(self):
+        assert unit_vector(np.pi / 2) == pytest.approx([0.0, 1.0], abs=1e-12)
+
+
+class TestRigidTransform:
+    def test_identity(self):
+        transform = RigidTransform.identity()
+        points = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert transform.apply(points) == pytest.approx(points)
+
+    def test_angle_property(self):
+        angle = 0.7
+        c, s = np.cos(angle), np.sin(angle)
+        transform = RigidTransform(np.array([[c, -s], [s, c]]), np.zeros(2))
+        assert transform.angle == pytest.approx(angle)
+
+    def test_inverse_roundtrip(self, rng):
+        angle = 1.1
+        c, s = np.cos(angle), np.sin(angle)
+        transform = RigidTransform(np.array([[c, -s], [s, c]]),
+                                   np.array([2.0, -1.0]))
+        points = rng.standard_normal((5, 2))
+        roundtrip = transform.inverse().apply(transform.apply(points))
+        assert roundtrip == pytest.approx(points)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ConfigurationError):
+            RigidTransform(np.eye(3), np.zeros(2))
+        with pytest.raises(ConfigurationError):
+            RigidTransform(np.eye(2), np.zeros(3))
+
+
+class TestRigidAlign:
+    def test_recovers_known_transform(self, rng):
+        source = rng.standard_normal((20, 2))
+        angle = 0.9
+        c, s = np.cos(angle), np.sin(angle)
+        rotation = np.array([[c, -s], [s, c]])
+        translation = np.array([3.0, -2.0])
+        target = source @ rotation.T + translation
+
+        transform = rigid_align(source, target)
+        assert transform.angle == pytest.approx(angle)
+        assert transform.translation == pytest.approx(translation)
+        assert transform.apply(source) == pytest.approx(target)
+
+    def test_no_reflection(self):
+        # A mirrored point set cannot be matched by a proper rotation; the
+        # result must still be a rotation (det +1), not a reflection.
+        source = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        target = source * np.array([1.0, -1.0])
+        transform = rigid_align(source, target)
+        assert np.linalg.det(transform.rotation) == pytest.approx(1.0)
+
+    def test_no_scaling(self):
+        source = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        target = 3.0 * source
+        transform = rigid_align(source, target)
+        # Rotation matrix columns stay unit length: scale is not absorbed.
+        assert np.linalg.norm(transform.rotation[:, 0]) == pytest.approx(1.0)
+
+    def test_rejects_mismatched_inputs(self):
+        with pytest.raises(ConfigurationError):
+            rigid_align(np.zeros((3, 2)), np.zeros((4, 2)))
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ConfigurationError):
+            rigid_align(np.zeros((1, 2)), np.zeros((1, 2)))
+
+
+class TestRectangle:
+    def test_from_size(self):
+        rect = Rectangle.from_size(4.0, 3.0, origin=(1.0, 2.0))
+        assert rect.x_max == pytest.approx(5.0)
+        assert rect.y_max == pytest.approx(5.0)
+        assert rect.area == pytest.approx(12.0)
+        assert rect.center == pytest.approx([3.0, 3.5])
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ConfigurationError):
+            Rectangle(0, 0, 0, 1)
+
+    def test_contains_with_margin(self):
+        rect = Rectangle.from_size(10.0, 10.0)
+        assert rect.contains((0.5, 0.5))
+        assert not rect.contains((0.5, 0.5), margin=1.0)
+
+    def test_contains_all(self):
+        rect = Rectangle.from_size(10.0, 10.0)
+        inside = np.array([[1.0, 1.0], [9.0, 9.0]])
+        outside = np.array([[1.0, 1.0], [11.0, 5.0]])
+        assert rect.contains_all(inside)
+        assert not rect.contains_all(outside)
+
+    def test_clamp(self):
+        rect = Rectangle.from_size(10.0, 10.0)
+        assert rect.clamp((-5.0, 20.0)) == pytest.approx([0.0, 10.0])
+        assert rect.clamp((5.0, 5.0)) == pytest.approx([5.0, 5.0])
+
+    def test_sample_interior_stays_inside(self, rng):
+        rect = Rectangle.from_size(4.0, 2.0, origin=(-1.0, -1.0))
+        for _ in range(50):
+            point = rect.sample_interior(rng, margin=0.2)
+            assert rect.contains(point, margin=0.19)

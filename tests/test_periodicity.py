@@ -1,0 +1,103 @@
+"""Tests for the periodic-motion filter and the Fan scene entity.
+
+This closes the loop on Sec. 6's motivation: a fixed repeated trajectory
+or a fan is filterable by a smart eavesdropper; real walks and GAN ghosts
+are not.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SceneError, TrackingError
+from repro.eavesdropper import filter_periodic_tracks, periodicity_score
+from repro.geometry import Rectangle
+from repro.radar import Fan, FmcwRadar, RadarConfig, Scene
+from repro.types import Trajectory
+
+
+def _circle(num_loops: float, num_points: int = 60,
+            radius: float = 1.0) -> Trajectory:
+    t = np.linspace(0.0, 2 * np.pi * num_loops, num_points)
+    return Trajectory(np.column_stack([radius * np.cos(t),
+                                       radius * np.sin(t)]), dt=0.2)
+
+
+class TestPeriodicityScore:
+    def test_looping_circle_scores_high(self):
+        assert periodicity_score(_circle(3.0)) > 0.9
+
+    def test_straight_walk_scores_low(self):
+        walk = Trajectory(np.linspace([0, 0], [5, 2], 50), dt=0.2)
+        assert periodicity_score(walk) < 0.5
+
+    def test_simulated_human_scores_low(self, sample_trajectory):
+        assert periodicity_score(sample_trajectory) < 0.6
+
+    def test_gan_ghosts_score_lower_than_circles(self, tiny_gan, rng):
+        ghosts = tiny_gan.sampler.sample(10, rng=rng)
+        ghost_scores = [periodicity_score(g) for g in ghosts]
+        assert np.mean(ghost_scores) < periodicity_score(_circle(3.0))
+
+    def test_static_blob_is_maximally_periodic(self):
+        blob = Trajectory(np.zeros((20, 2)) + [3.0, 3.0], dt=0.2)
+        assert periodicity_score(blob) == pytest.approx(1.0)
+
+    def test_rejects_short_trajectory(self):
+        with pytest.raises(TrackingError):
+            periodicity_score(Trajectory([[0, 0], [1, 1]], dt=1.0))
+
+
+class TestFilterPeriodicTracks:
+    def test_separates_circles_from_walks(self, sample_trajectory):
+        kept, rejected = filter_periodic_tracks(
+            [sample_trajectory, _circle(4.0)]
+        )
+        assert sample_trajectory in kept
+        assert len(rejected) == 1
+
+    def test_threshold_validation(self, sample_trajectory):
+        with pytest.raises(TrackingError):
+            filter_periodic_tracks([sample_trajectory], threshold=0.0)
+
+    def test_short_tracks_kept(self):
+        stub = Trajectory([[0, 0], [1, 0], [2, 0]], dt=1.0)
+        kept, rejected = filter_periodic_tracks([stub])
+        assert kept == [stub]
+        assert rejected == []
+
+
+class TestFanEntity:
+    def test_blade_sweeps_circle(self):
+        fan = Fan((3.0, 3.0), blade_radius=0.4, rotation_hz=1.0)
+        p0 = fan.blade_position(0.0)
+        p_half = fan.blade_position(0.5)
+        p_full = fan.blade_position(1.0)
+        assert p0 == pytest.approx(p_full)
+        assert np.linalg.norm(p0 - p_half) == pytest.approx(0.8, abs=1e-9)
+
+    def test_rejects_invalid(self):
+        with pytest.raises(SceneError):
+            Fan((1.0, 1.0), blade_radius=0.0)
+        with pytest.raises(SceneError):
+            Fan((1.0, 1.0), rotation_hz=0.0)
+
+    def test_fan_track_filtered_human_kept(self, straight_walk):
+        """End-to-end: radar sees fan + human; the filter removes the fan."""
+        config = RadarConfig(position=(5.0, 0.1), axis_angle=0.0,
+                             facing_angle=np.pi / 2, frame_rate=20.0)
+        radar = FmcwRadar(config)
+        scene = Scene(Rectangle.from_size(10.0, 6.6))
+        scene.add_human(straight_walk)
+        scene.add(Fan((8.0, 4.0), rotation_hz=0.5, rcs=0.8))
+        result = radar.sense(scene, 8.0, rng=np.random.default_rng(8))
+        tracks = result.trajectories()
+        assert len(tracks) >= 2
+        kept, rejected = filter_periodic_tracks(tracks[:2])
+        assert len(rejected) >= 1
+        # The surviving track is the human's.
+        assert len(kept) >= 1
+        human_like = kept[0]
+        errors = np.linalg.norm(
+            human_like.resampled(50).points - straight_walk.points, axis=1
+        )
+        assert np.median(errors) < 0.5

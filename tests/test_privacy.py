@@ -1,0 +1,167 @@
+"""Tests for repro.privacy: the information-theoretic analysis of Sec. 7."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.privacy import (
+    OccupancyModel,
+    attacker_count_accuracy,
+    binomial_pmf,
+    breath_guess_probability,
+    mutual_information_curve,
+    occupancy_detection_rate,
+)
+
+
+class TestBinomialPmf:
+    def test_sums_to_one(self):
+        pmf = binomial_pmf(10, 0.3)
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_matches_closed_form_small(self):
+        pmf = binomial_pmf(2, 0.5)
+        assert pmf == pytest.approx([0.25, 0.5, 0.25])
+
+    def test_degenerate_probabilities(self):
+        assert binomial_pmf(3, 0.0) == pytest.approx([1, 0, 0, 0])
+        assert binomial_pmf(3, 1.0) == pytest.approx([0, 0, 0, 1])
+
+    def test_n_zero(self):
+        assert binomial_pmf(0, 0.7) == pytest.approx([1.0])
+
+    def test_mean(self):
+        pmf = binomial_pmf(20, 0.35)
+        mean = (np.arange(21) * pmf).sum()
+        assert mean == pytest.approx(7.0)
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ConfigurationError):
+            binomial_pmf(-1, 0.5)
+        with pytest.raises(ConfigurationError):
+            binomial_pmf(3, 1.5)
+
+
+class TestOccupancyModel:
+    def test_pmf_z_is_convolution(self):
+        model = OccupancyModel(2, 0.5, 1, 0.5)
+        # X ~ Bin(2, .5) = [.25, .5, .25]; Y ~ Bin(1, .5) = [.5, .5]
+        assert model.pmf_z() == pytest.approx([0.125, 0.375, 0.375, 0.125])
+
+    def test_joint_marginals_consistent(self):
+        model = OccupancyModel(4, 0.2, 3, 0.5)
+        joint = model.joint_xz()
+        assert joint.sum() == pytest.approx(1.0)
+        assert joint.sum(axis=1) == pytest.approx(model.pmf_x())
+        assert joint.sum(axis=0) == pytest.approx(model.pmf_z())
+
+    def test_no_phantoms_gives_full_information(self):
+        model = OccupancyModel(4, 0.2, 0, 0.5)
+        # Z = X exactly: I(X;Z) = H(X).
+        assert model.mutual_information() == pytest.approx(model.entropy_x())
+
+    def test_always_on_phantoms_also_leak_everything(self):
+        # q = 1: Z = X + M deterministically; the shift hides nothing.
+        model = OccupancyModel(4, 0.2, 4, 1.0)
+        assert model.mutual_information() == pytest.approx(model.entropy_x())
+
+    def test_q_half_minimizes_leakage(self):
+        values = {
+            q: OccupancyModel(4, 0.2, 4, q).mutual_information()
+            for q in (0.0, 0.25, 0.5, 0.75, 1.0)
+        }
+        assert values[0.5] < values[0.0]
+        assert values[0.5] < values[1.0]
+        assert values[0.5] <= values[0.25]
+        assert values[0.5] <= values[0.75]
+
+    def test_more_phantoms_leak_less(self):
+        leaks = [OccupancyModel(4, 0.2, m, 0.5).mutual_information()
+                 for m in (1, 2, 4, 8)]
+        assert all(b < a for a, b in zip(leaks, leaks[1:]))
+
+    def test_mutual_information_bounds(self):
+        model = OccupancyModel(4, 0.2, 4, 0.5)
+        assert 0.0 <= model.mutual_information() <= model.entropy_x()
+
+
+class TestMutualInformationCurve:
+    def test_shape(self):
+        surface = mutual_information_curve(4, 0.2, np.array([1, 2]),
+                                           np.linspace(0, 1, 5))
+        assert surface.shape == (2, 5)
+
+    def test_fig7_qualitative_shape(self):
+        """The headline claims of Fig. 7 in one test."""
+        q_grid = np.linspace(0, 1, 21)
+        surface = mutual_information_curve(4, 0.2, np.array([1, 2, 4, 8]),
+                                           q_grid)
+        # Endpoints leak the most for every M.
+        for row in surface:
+            assert row[0] == pytest.approx(row.max())
+            interior_min_q = q_grid[np.argmin(row)]
+            assert 0.3 <= interior_min_q <= 0.7
+        # Minimum leakage decreases with M.
+        minima = surface.min(axis=1)
+        assert all(b < a for a, b in zip(minima, minima[1:]))
+
+    def test_rejects_2d_grids(self):
+        with pytest.raises(ConfigurationError):
+            mutual_information_curve(4, 0.2, np.zeros((2, 2), dtype=int),
+                                     np.linspace(0, 1, 3))
+
+
+class TestBreathGuess:
+    def test_paper_formula(self):
+        assert breath_guess_probability(1, 3) == pytest.approx(0.25)
+        assert breath_guess_probability(2, 2) == pytest.approx(0.5)
+
+    def test_no_fakes_means_certainty(self):
+        assert breath_guess_probability(2, 0) == 1.0
+
+    def test_rejects_empty_room(self):
+        with pytest.raises(ConfigurationError):
+            breath_guess_probability(0, 0)
+
+
+class TestOccupancyDetection:
+    def test_without_defense_perfect(self):
+        rates = occupancy_detection_rate(4, 0.2, 0, 0.0)
+        assert rates["without_defense"] == 1.0
+        assert rates["with_defense"] == pytest.approx(1.0)
+
+    def test_with_defense_degrades(self):
+        rates = occupancy_detection_rate(4, 0.2, 4, 0.5)
+        assert rates["with_defense"] < 1.0
+
+    def test_more_phantoms_degrade_more(self):
+        few = occupancy_detection_rate(4, 0.2, 1, 0.5)["with_defense"]
+        many = occupancy_detection_rate(4, 0.2, 8, 0.5)["with_defense"]
+        assert many < few
+
+
+class TestCountAttack:
+    def test_map_attacker_beats_chance_but_not_perfect(self, rng):
+        result = attacker_count_accuracy(4, 0.2, 4, 0.5, rng=rng,
+                                         trials=20000)
+        accuracy = result["accuracy_with_defense"]
+        assert accuracy < 0.95          # the defense hurts
+        assert accuracy > 1.0 / 5.0     # MAP still beats uniform guessing
+
+    def test_no_phantoms_gives_perfect_count(self, rng):
+        result = attacker_count_accuracy(4, 0.2, 0, 0.5, rng=rng,
+                                         trials=5000)
+        assert result["accuracy_with_defense"] == pytest.approx(1.0)
+        assert result["mae_with_defense"] == pytest.approx(0.0)
+
+    def test_accuracy_decreases_with_phantoms(self, rng):
+        accuracies = [
+            attacker_count_accuracy(4, 0.2, m, 0.5, rng=rng,
+                                    trials=20000)["accuracy_with_defense"]
+            for m in (1, 4, 12)
+        ]
+        assert accuracies[2] < accuracies[0]
+
+    def test_rejects_bad_trials(self, rng):
+        with pytest.raises(ConfigurationError):
+            attacker_count_accuracy(4, 0.2, 4, 0.5, rng=rng, trials=0)

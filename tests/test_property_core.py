@@ -1,0 +1,155 @@
+"""Property-based tests for core invariants outside the NN engine:
+geometry, trajectory operations, chirp arithmetic, CDFs, and the
+information-theoretic privacy bounds.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.geometry import rigid_align, wrap_angle
+from repro.metrics.errors import empirical_cdf
+from repro.privacy import OccupancyModel, binomial_pmf
+from repro.signal import ChirpConfig
+from repro.types import Trajectory
+
+_settings = settings(max_examples=40, deadline=None)
+
+finite_floats = st.floats(-1e3, 1e3, allow_nan=False)
+
+point_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(3, 20), st.just(2)),
+    elements=st.floats(-50, 50, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestAngleProperties:
+    @_settings
+    @given(st.floats(-100.0, 100.0))
+    def test_wrap_angle_in_range(self, angle):
+        wrapped = float(wrap_angle(angle))
+        assert -np.pi <= wrapped < np.pi
+
+    @_settings
+    @given(st.floats(-50.0, 50.0))
+    def test_wrap_angle_preserves_direction(self, angle):
+        wrapped = float(wrap_angle(angle))
+        assert np.cos(wrapped) == pytest.approx(np.cos(angle), abs=1e-9)
+        assert np.sin(wrapped) == pytest.approx(np.sin(angle), abs=1e-9)
+
+
+class TestRigidAlignProperties:
+    @_settings
+    @given(point_arrays, st.floats(-3.0, 3.0), finite_floats, finite_floats)
+    def test_exact_recovery_of_rigid_motion(self, points, angle, dx, dy):
+        c, s = np.cos(angle), np.sin(angle)
+        rotation = np.array([[c, -s], [s, c]])
+        target = points @ rotation.T + np.array([dx, dy])
+        transform = rigid_align(points, target)
+        assert transform.apply(points) == pytest.approx(target, abs=1e-6)
+
+    @_settings
+    @given(point_arrays)
+    def test_result_is_proper_rotation(self, points):
+        target = points[::-1].copy()
+        transform = rigid_align(points, target)
+        rotation = transform.rotation
+        assert rotation.T @ rotation == pytest.approx(np.eye(2), abs=1e-9)
+        assert np.linalg.det(rotation) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestTrajectoryProperties:
+    @_settings
+    @given(point_arrays, st.floats(0.05, 2.0))
+    def test_path_length_invariant_under_rigid_motion(self, points, dt):
+        trajectory = Trajectory(points, dt=dt)
+        moved = trajectory.rotated(1.234).translated([5.0, -7.0])
+        assert moved.path_length() == pytest.approx(
+            trajectory.path_length(), rel=1e-9, abs=1e-9
+        )
+
+    @_settings
+    @given(point_arrays, st.floats(0.05, 2.0))
+    def test_motion_range_invariant_under_rigid_motion(self, points, dt):
+        trajectory = Trajectory(points, dt=dt)
+        moved = trajectory.rotated(-0.777).translated([1.0, 2.0])
+        assert moved.motion_range() == pytest.approx(
+            trajectory.motion_range(), rel=1e-9, abs=1e-9
+        )
+
+    @_settings
+    @given(point_arrays, st.integers(2, 40))
+    def test_resampling_never_extends_bounds(self, points, num_points):
+        trajectory = Trajectory(points, dt=0.5)
+        resampled = trajectory.resampled(num_points)
+        margin = 1e-9
+        assert resampled.points[:, 0].max() <= points[:, 0].max() + margin
+        assert resampled.points[:, 0].min() >= points[:, 0].min() - margin
+
+    @_settings
+    @given(point_arrays)
+    def test_polar_roundtrip(self, points):
+        trajectory = Trajectory(points, dt=1.0)
+        origin = (1.5, -2.5)
+        back = Trajectory.from_polar(trajectory.to_polar(origin), dt=1.0,
+                                     origin=origin)
+        assert back.points == pytest.approx(trajectory.points, abs=1e-6)
+
+
+class TestChirpProperties:
+    @_settings
+    @given(st.floats(0.1, 60.0))
+    def test_distance_beat_roundtrip(self, distance):
+        chirp = ChirpConfig()
+        beat = chirp.distance_to_beat_frequency(distance)
+        assert chirp.beat_frequency_to_distance(beat) == pytest.approx(
+            distance, rel=1e-12
+        )
+
+    @_settings
+    @given(st.floats(0.1, 30.0), st.floats(0.1, 30.0))
+    def test_switch_frequency_additive(self, d1, d2):
+        chirp = ChirpConfig()
+        combined = chirp.switch_frequency_for_offset(d1 + d2)
+        separate = (chirp.switch_frequency_for_offset(d1)
+                    + chirp.switch_frequency_for_offset(d2))
+        assert combined == pytest.approx(separate, rel=1e-12)
+
+
+class TestCdfProperties:
+    @_settings
+    @given(hnp.arrays(np.float64, st.integers(1, 60),
+                      elements=st.floats(-100, 100, allow_nan=False)))
+    def test_cdf_monotone_and_normalized(self, values):
+        ordered, levels = empirical_cdf(values)
+        assert np.all(np.diff(ordered) >= 0)
+        assert np.all(np.diff(levels) > 0)
+        assert levels[-1] == pytest.approx(1.0)
+        assert levels[0] > 0
+
+
+class TestPrivacyProperties:
+    @_settings
+    @given(st.integers(0, 12), st.floats(0.0, 1.0))
+    def test_binomial_pmf_valid(self, n, p):
+        pmf = binomial_pmf(n, p)
+        assert pmf.shape == (n + 1,)
+        assert np.all(pmf >= 0)
+        assert pmf.sum() == pytest.approx(1.0)
+
+    @_settings
+    @given(st.integers(1, 6), st.floats(0.05, 0.95),
+           st.integers(0, 6), st.floats(0.0, 1.0))
+    def test_mutual_information_bounds(self, n, p, m, q):
+        model = OccupancyModel(n, p, m, q)
+        information = model.mutual_information()
+        assert 0.0 <= information <= model.entropy_x() + 1e-9
+
+    @_settings
+    @given(st.integers(1, 5), st.floats(0.05, 0.95), st.integers(1, 6))
+    def test_phantoms_never_increase_leakage(self, n, p, m):
+        with_defense = OccupancyModel(n, p, m, 0.5).mutual_information()
+        without = OccupancyModel(n, p, 0, 0.5).mutual_information()
+        assert with_defense <= without + 1e-9

@@ -1,0 +1,96 @@
+"""Property-based tests for the extension modules: floor plans, delay
+lines, and the RF-Protect control arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro import constants
+from repro.geometry import Rectangle
+from repro.reflector import DelayLineTag, ReflectorController, ReflectorPanel
+from repro.signal import ChirpConfig
+from repro.trajectories.floorplan import FloorPlan, Wall, _segments_intersect
+
+_settings = settings(max_examples=40, deadline=None)
+
+coords = st.floats(0.5, 9.5, allow_nan=False)
+
+
+class TestSegmentIntersectionProperties:
+    @_settings
+    @given(coords, coords, coords, coords, coords, coords, coords, coords)
+    def test_symmetry(self, ax, ay, bx, by, cx, cy, dx, dy):
+        p1, p2 = np.array([ax, ay]), np.array([bx, by])
+        q1, q2 = np.array([cx, cy]), np.array([dx, dy])
+        assume(not np.allclose(p1, p2) and not np.allclose(q1, q2))
+        forward = _segments_intersect(p1, p2, q1, q2)
+        backward = _segments_intersect(q1, q2, p1, p2)
+        assert forward == backward
+
+    @_settings
+    @given(coords, coords, coords, coords)
+    def test_segment_intersects_itself(self, ax, ay, bx, by):
+        p1, p2 = np.array([ax, ay]), np.array([bx, by])
+        assume(not np.allclose(p1, p2))
+        assert _segments_intersect(p1, p2, p1, p2)
+
+    @_settings
+    @given(coords, coords, st.floats(0.1, 3.0))
+    def test_disjoint_parallel_segments(self, x, y, offset):
+        p1, p2 = np.array([x, y]), np.array([x + 0.4, y])
+        q1 = np.array([x, y + offset])
+        q2 = np.array([x + 0.4, y + offset])
+        assert not _segments_intersect(p1, p2, q1, q2)
+
+
+class TestFloorPlanProperties:
+    @_settings
+    @given(st.floats(1.0, 9.0), st.floats(0.5, 5.5))
+    def test_crossing_detection_for_horizontal_walks(self, wall_x, walk_y):
+        plan = FloorPlan(Rectangle.from_size(10.0, 6.0),
+                         walls=[Wall((wall_x, 0.0), (wall_x, 6.0))])
+        left = np.array([wall_x - 0.4, walk_y])
+        right = np.array([wall_x + 0.4, walk_y])
+        assert plan.step_crosses_wall(left, right)
+        # Steps fully on one side never cross.
+        assert not plan.step_crosses_wall(left, left + np.array([-0.3, 0.1]))
+
+
+class TestControlArithmeticProperties:
+    @_settings
+    @given(st.floats(2.5, 6.0), st.floats(-1.0, 1.0))
+    def test_commanded_ghost_reconstructs_exactly(self, ghost_range, lateral):
+        """Controller inverse: apparent position == commanded position when
+        the nominal radar assumption is exact and angles are unquantized.
+
+        With quantized panel angles the reconstruction error is bounded by
+        the angular step times the range.
+        """
+        panel = ReflectorPanel((5.0, 1.3), wall_angle=0.0,
+                               normal_angle=np.pi / 2)
+        chirp = ChirpConfig()
+        controller = ReflectorController(panel, chirp)
+        radar = controller.radar_position
+        ghost = radar + np.array([lateral, ghost_range])
+        command = controller.command_for_point(ghost, 0.0)
+
+        antenna = panel.antenna_position(command.antenna_index)
+        path = float(np.linalg.norm(antenna - radar))
+        offset = float(chirp.offset_for_switch_frequency(command.switch_frequency))
+        direction = (antenna - radar) / path
+        apparent = radar + (path + offset) * direction
+
+        angles = panel.antenna_angles()
+        angular_step = float(np.abs(np.diff(angles)).max())
+        bound = angular_step * float(np.linalg.norm(ghost - radar)) + 1e-6
+        assert np.linalg.norm(apparent - ghost) <= bound
+
+    @_settings
+    @given(st.integers(0, 31))
+    def test_delay_line_distance_roundtrip(self, line_index):
+        panel = ReflectorPanel((5.0, 1.3), wall_angle=0.0,
+                               normal_angle=np.pi / 2)
+        tag = DelayLineTag(panel, num_lines=32, line_spacing_m=0.15)
+        delay = tag.line_delay(line_index)
+        distance = delay * constants.SPEED_OF_LIGHT / 2.0
+        assert distance == pytest.approx((line_index + 1) * 0.15, rel=1e-12)

@@ -1,0 +1,181 @@
+"""Tests for repro.radar.channel and repro.radar.scene."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SceneError
+from repro.geometry import Rectangle
+from repro.radar import ChannelModel, HumanTarget, Scene, StaticReflector
+from repro.radar.antenna import UniformLinearArray
+from repro.radar.channel import MultipathSpec
+from repro.radar.config import RadarConfig
+from repro.radar.scene import BreathingSpec
+from repro.types import Trajectory
+
+
+@pytest.fixture()
+def array():
+    return UniformLinearArray(
+        RadarConfig(position=(0.0, 0.0), axis_angle=0.0, facing_angle=np.pi / 2)
+    )
+
+
+class TestChannelModel:
+    def test_amplitude_fourth_power_law(self):
+        channel = ChannelModel()
+        near = channel.path_amplitude(2.0)
+        far = channel.path_amplitude(4.0)
+        assert near / far == pytest.approx(4.0)  # amplitude ~ 1/d^2
+
+    def test_amplitude_scales_with_sqrt_rcs(self):
+        channel = ChannelModel()
+        assert channel.path_amplitude(3.0, rcs=4.0) == pytest.approx(
+            2.0 * channel.path_amplitude(3.0, rcs=1.0)
+        )
+
+    def test_reference_calibration(self):
+        channel = ChannelModel(reference_amplitude=0.5, reference_distance=2.0)
+        assert channel.path_amplitude(2.0) == pytest.approx(0.5)
+
+    def test_rejects_bad_reference(self):
+        with pytest.raises(ConfigurationError):
+            ChannelModel(reference_amplitude=0.0)
+
+    def test_thermal_noise_statistics(self, rng):
+        channel = ChannelModel()
+        noise = channel.thermal_noise((20000,), 0.1, rng)
+        rms = np.sqrt(np.mean(np.abs(noise) ** 2))
+        assert rms == pytest.approx(0.1, rel=0.05)
+        assert noise.real.mean() == pytest.approx(0.0, abs=0.01)
+
+    def test_zero_noise(self, rng):
+        channel = ChannelModel()
+        assert np.all(channel.thermal_noise((5,), 0.0, rng) == 0)
+
+    def test_multipath_disabled_by_default(self, rng):
+        channel = ChannelModel()
+        assert channel.sample_multipath(5.0, 1.0, 0.1, rng) == []
+
+    def test_multipath_bounces_behind_source(self, rng):
+        spec = MultipathSpec(mean_paths=3.0)
+        channel = ChannelModel(multipath=spec)
+        bounces = []
+        for _ in range(50):
+            bounces.extend(channel.sample_multipath(5.0, 1.5, 0.1, rng))
+        assert bounces, "expected some bounces with mean_paths=3"
+        for distance, angle, amplitude in bounces:
+            assert distance > 5.0            # excess path only adds distance
+            assert 0 < angle < np.pi
+            assert amplitude < 0.1           # always weaker than the source
+
+    def test_multipath_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            MultipathSpec(relative_amplitude=1.5)
+        with pytest.raises(ConfigurationError):
+            MultipathSpec(mean_paths=-1.0)
+
+
+class TestBreathingSpec:
+    def test_displacement_bounded_by_amplitude(self):
+        spec = BreathingSpec(amplitude=0.006, frequency=0.25)
+        times = np.linspace(0, 20, 500)
+        displacement = np.array([spec.displacement(t) for t in times])
+        assert np.abs(displacement).max() <= 0.006 + 1e-12
+
+    def test_period(self):
+        spec = BreathingSpec(frequency=0.5)
+        assert spec.displacement(0.0) == pytest.approx(spec.displacement(2.0))
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(SceneError):
+            BreathingSpec(amplitude=-0.001)
+        with pytest.raises(SceneError):
+            BreathingSpec(frequency=0.0)
+
+
+class TestHumanTarget(object):
+    def test_path_components_geometry(self, array, rng):
+        walk = Trajectory([[2.0, 3.0], [2.0, 4.0]], dt=1.0)
+        human = HumanTarget(walk, rcs_fluctuation=0.0,
+                            breathing=BreathingSpec(amplitude=1e-9))
+        channel = ChannelModel()
+        components = human.path_components(0.0, array, channel, rng)
+        assert len(components) == 1
+        expected_distance, expected_angle = array.polar_of(np.array([2.0, 3.0]))
+        assert components[0].distance == pytest.approx(expected_distance,
+                                                       abs=1e-6)
+        assert components[0].angle == pytest.approx(expected_angle)
+        assert components[0].beat_offset_hz == 0.0
+
+    def test_breathing_modulates_distance(self, array, rng):
+        static = Trajectory([[0.0, 3.0], [0.0, 3.0]], dt=10.0)
+        human = HumanTarget(static, rcs_fluctuation=0.0,
+                            breathing=BreathingSpec(amplitude=0.005,
+                                                    frequency=0.25))
+        channel = ChannelModel()
+        d_peak = human.path_components(1.0, array, channel, rng)[0].distance
+        d_zero = human.path_components(0.0, array, channel, rng)[0].distance
+        assert d_peak != pytest.approx(d_zero, abs=1e-6)
+        assert abs(d_peak - d_zero) < 0.01
+
+    def test_rcs_fluctuation_changes_amplitude(self, array, rng):
+        walk = Trajectory([[0.0, 3.0], [0.0, 4.0]], dt=1.0)
+        human = HumanTarget(walk, rcs_fluctuation=0.3)
+        channel = ChannelModel()
+        amplitudes = {
+            human.path_components(0.0, array, channel, rng)[0].amplitude
+            for _ in range(5)
+        }
+        assert len(amplitudes) > 1
+
+    def test_rejects_bad_rcs(self):
+        walk = Trajectory([[0, 0], [1, 1]], dt=1.0)
+        with pytest.raises(SceneError):
+            HumanTarget(walk, rcs=0.0)
+        with pytest.raises(SceneError):
+            HumanTarget(walk, rcs_fluctuation=1.0)
+
+
+class TestStaticReflector:
+    def test_constant_across_time(self, array, rng):
+        static = StaticReflector((3.0, 4.0), rcs=2.0)
+        channel = ChannelModel()
+        first = static.path_components(0.0, array, channel, rng)[0]
+        later = static.path_components(9.0, array, channel, rng)[0]
+        assert first.distance == later.distance
+        assert first.amplitude == later.amplitude
+        assert first.phase_offset == later.phase_offset
+
+    def test_rejects_bad_position(self):
+        with pytest.raises(SceneError):
+            StaticReflector((1.0, 2.0, 3.0))
+
+
+class TestScene:
+    def test_add_human_inside_room(self, straight_walk):
+        scene = Scene(Rectangle.from_size(10.0, 6.6))
+        human = scene.add_human(straight_walk)
+        assert human in scene.humans()
+
+    def test_add_human_outside_room_rejected(self):
+        scene = Scene(Rectangle.from_size(4.0, 4.0))
+        walk = Trajectory([[1.0, 1.0], [9.0, 1.0]], dt=1.0)
+        with pytest.raises(SceneError):
+            scene.add_human(walk)
+
+    def test_add_static_outside_room_rejected(self):
+        scene = Scene(Rectangle.from_size(4.0, 4.0))
+        with pytest.raises(SceneError):
+            scene.add_static((5.0, 1.0))
+
+    def test_add_rejects_non_entity(self):
+        scene = Scene(Rectangle.from_size(4.0, 4.0))
+        with pytest.raises(SceneError):
+            scene.add("not an entity")
+
+    def test_path_components_aggregates(self, array, rng, straight_walk):
+        scene = Scene(Rectangle.from_size(10.0, 6.6))
+        scene.add_static((2.0, 2.0))
+        scene.add_human(straight_walk)
+        components = scene.path_components(0.0, array, rng)
+        assert len(components) >= 2

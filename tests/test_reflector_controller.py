@@ -1,0 +1,159 @@
+"""Tests for repro.reflector.controller: trajectory -> switching schedule."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReflectorError
+from repro.reflector import ReflectorController, ReflectorPanel, SpoofCommand, SpoofSchedule
+from repro.signal import ChirpConfig
+from repro.types import Trajectory
+
+
+@pytest.fixture()
+def panel():
+    return ReflectorPanel((5.0, 1.3), wall_angle=0.0, normal_angle=np.pi / 2)
+
+
+@pytest.fixture()
+def controller(panel):
+    return ReflectorController(panel, ChirpConfig())
+
+
+class TestSpoofSchedule:
+    def _commands(self, times):
+        return [SpoofCommand(t, 0, 30e3, 0.0, (5.0, 4.0)) for t in times]
+
+    def test_command_at_selects_active_interval(self):
+        schedule = SpoofSchedule(self._commands([0.0, 1.0, 2.0]),
+                                 command_interval=1.0)
+        assert schedule.command_at(0.5).time == 0.0
+        assert schedule.command_at(1.0).time == 1.0
+        assert schedule.command_at(2.9).time == 2.0
+
+    def test_command_at_outside_returns_none(self):
+        schedule = SpoofSchedule(self._commands([0.0, 1.0]),
+                                 command_interval=1.0)
+        assert schedule.command_at(-0.1) is None
+        assert schedule.command_at(2.0) is None
+
+    def test_rejects_duplicate_times(self):
+        with pytest.raises(ReflectorError):
+            SpoofSchedule(self._commands([0.0, 0.0]), command_interval=1.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ReflectorError):
+            SpoofSchedule([], command_interval=1.0)
+
+    def test_intended_trajectory(self):
+        commands = [SpoofCommand(t, 0, 30e3, 0.0, (t, 2 * t))
+                    for t in (0.0, 1.0, 2.0)]
+        schedule = SpoofSchedule(commands, command_interval=1.0)
+        trajectory = schedule.intended_trajectory()
+        assert trajectory.points == pytest.approx(
+            np.array([[0.0, 0.0], [1.0, 2.0], [2.0, 4.0]])
+        )
+
+
+class TestCommandForPoint:
+    def test_selects_nearest_antenna(self, controller, panel):
+        # A ghost straight ahead of antenna 0's ray.
+        angles = panel.antenna_angles()
+        radar = controller.radar_position
+        direction = np.array([np.cos(angles[0]), np.sin(angles[0])])
+        ghost = radar + 5.0 * direction
+        command = controller.command_for_point(ghost, 0.0)
+        assert command.antenna_index == 0
+
+    def test_switch_frequency_encodes_distance(self, controller, panel):
+        ghost = panel.center + np.array([0.0, 4.0])
+        command = controller.command_for_point(ghost, 0.0)
+        chirp = controller.chirp
+        offset = float(chirp.offset_for_switch_frequency(command.switch_frequency))
+        antenna = panel.antenna_position(command.antenna_index)
+        path = float(np.linalg.norm(antenna - controller.radar_position))
+        ghost_range = float(np.linalg.norm(ghost - controller.radar_position))
+        assert path + offset == pytest.approx(ghost_range, abs=1e-6)
+
+    def test_too_close_ghost_rejected(self, controller, panel):
+        ghost = panel.center + np.array([0.0, 0.1])
+        with pytest.raises(ReflectorError):
+            controller.command_for_point(ghost, 0.0)
+
+    def test_frame_coherent_rounding(self, panel):
+        controller = ReflectorController(panel, ChirpConfig(),
+                                         frame_coherent_rate=10.0)
+        ghost = panel.center + np.array([0.3, 4.0])
+        command = controller.command_for_point(ghost, 0.0)
+        assert command.switch_frequency % 10.0 == pytest.approx(0.0, abs=1e-6)
+
+
+class TestPlanTrajectory:
+    def test_command_count_matches_duration(self, controller):
+        trajectory = Trajectory(
+            np.linspace([4.5, 4.0], [5.5, 5.0], 20), dt=0.5
+        )  # 9.5 s
+        schedule = controller.plan_trajectory(trajectory)
+        assert len(schedule) == int(round(9.5 * controller.command_rate)) + 1
+
+    def test_intended_matches_input(self, controller):
+        trajectory = Trajectory(
+            np.linspace([4.5, 4.0], [5.5, 5.0], 21), dt=0.5
+        )
+        schedule = controller.plan_trajectory(trajectory)
+        intended = schedule.intended_trajectory()
+        for time, point in zip(intended.times, intended.points):
+            assert point == pytest.approx(trajectory.position_at(time),
+                                          abs=1e-9)
+
+    def test_start_time_offsets_schedule(self, controller):
+        trajectory = Trajectory(np.linspace([4.5, 4.0], [5.5, 5.0], 11),
+                                dt=0.5)
+        schedule = controller.plan_trajectory(trajectory, start_time=3.0)
+        assert schedule.start_time == pytest.approx(3.0)
+        assert schedule.command_at(2.9) is None
+        assert schedule.command_at(3.1) is not None
+
+    def test_plan_static_ghost_constant_frequency(self, controller):
+        schedule = controller.plan_static_ghost(np.array([5.0, 5.0]), 10.0)
+        frequencies = schedule.switch_frequencies()
+        assert np.all(frequencies == frequencies[0])
+
+    def test_plan_static_ghost_rejects_bad_duration(self, controller):
+        with pytest.raises(ReflectorError):
+            controller.plan_static_ghost(np.array([5.0, 5.0]), 0.0)
+
+
+class TestPlaceTrajectory:
+    def test_placed_shape_is_spoofable(self, controller):
+        shape = Trajectory(np.linspace([-1.0, -1.0], [1.0, 1.0], 30), dt=0.3)
+        placed = controller.place_trajectory(shape)
+        # Every point must compile without a ReflectorError.
+        controller.plan_trajectory(placed)
+
+    def test_placement_preserves_shape(self, controller):
+        shape = Trajectory(np.linspace([-1.0, 0.0], [1.0, 0.5], 30), dt=0.3)
+        placed = controller.place_trajectory(shape)
+        assert placed.step_lengths() == pytest.approx(
+            shape.step_lengths(), abs=1e-9
+        )
+
+    def test_explicit_range_respected(self, controller):
+        shape = Trajectory(np.linspace([-0.5, 0.0], [0.5, 0.0], 10), dt=1.0)
+        placed = controller.place_trajectory(shape, center_range=6.0)
+        distance = np.linalg.norm(placed.centroid() - controller.radar_position)
+        assert distance == pytest.approx(6.0, abs=1e-6)
+
+    def test_too_small_range_rejected(self, controller):
+        shape = Trajectory(np.linspace([-2.0, 0.0], [2.0, 0.0], 10), dt=1.0)
+        with pytest.raises(ReflectorError):
+            controller.place_trajectory(shape, center_range=1.5)
+
+
+class TestControllerValidation:
+    def test_rejects_bad_command_rate(self, panel):
+        with pytest.raises(ReflectorError):
+            ReflectorController(panel, ChirpConfig(), command_rate=0.0)
+
+    def test_rejects_bad_min_offset(self, panel):
+        with pytest.raises(ReflectorError):
+            ReflectorController(panel, ChirpConfig(), min_distance_offset=0.0)

@@ -1,0 +1,144 @@
+"""Tests for repro.reflector.hardware and repro.reflector.panel."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReflectorError
+from repro.reflector import (
+    AntennaSwitchModel,
+    LnaModel,
+    PhaseShifterModel,
+    ReflectorPanel,
+    SwitchModel,
+)
+
+
+class TestSwitchModel:
+    def test_harmonic_series_structure(self):
+        switch = SwitchModel(insertion_loss_db=0.0, max_harmonic=5)
+        lines = {h.order: h.amplitude for h in switch.harmonics()}
+        # 50% duty: DC = 1/2, odd harmonics 1/(pi n), even vanish.
+        assert lines[0] == pytest.approx(0.5)
+        assert lines[1] == pytest.approx(1 / np.pi)
+        assert lines[-1] == pytest.approx(1 / np.pi)
+        assert lines[3] == pytest.approx(1 / (3 * np.pi))
+        assert lines[5] == pytest.approx(1 / (5 * np.pi))
+        assert 2 not in lines
+        assert 4 not in lines
+
+    def test_third_harmonic_9p5_db_down(self):
+        switch = SwitchModel()
+        lines = {h.order: h.amplitude for h in switch.harmonics()}
+        ratio_db = 20 * np.log10(lines[3] / lines[1])
+        assert ratio_db == pytest.approx(-9.54, abs=0.05)
+
+    def test_single_sideband_removes_mirrors(self):
+        switch = SwitchModel(include_negative=False)
+        orders = [h.order for h in switch.harmonics()]
+        assert all(order >= 0 for order in orders)
+
+    def test_insertion_loss_scales_lines(self):
+        lossless = {h.order: h.amplitude
+                    for h in SwitchModel(insertion_loss_db=0.0).harmonics()}
+        lossy = {h.order: h.amplitude
+                 for h in SwitchModel(insertion_loss_db=6.0).harmonics()}
+        assert lossy[1] / lossless[1] == pytest.approx(10 ** (-6 / 20))
+
+    def test_asymmetric_duty_has_even_harmonics(self):
+        switch = SwitchModel(duty_cycle=0.3)
+        orders = {h.order for h in switch.harmonics()}
+        assert 2 in orders
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ReflectorError):
+            SwitchModel(insertion_loss_db=-1.0)
+        with pytest.raises(ReflectorError):
+            SwitchModel(max_harmonic=0)
+        with pytest.raises(ReflectorError):
+            SwitchModel(duty_cycle=1.0)
+
+
+class TestPhaseShifter:
+    def test_quantization_step(self):
+        shifter = PhaseShifterModel(bits=6)
+        assert shifter.step == pytest.approx(2 * np.pi / 64)
+
+    def test_quantize_rounds_to_step(self):
+        shifter = PhaseShifterModel(bits=2)  # step pi/2
+        assert shifter.quantize(0.9) == pytest.approx(np.pi / 2)
+        assert shifter.quantize(0.1) == pytest.approx(0.0)
+
+    def test_quantize_error_bounded(self, rng):
+        shifter = PhaseShifterModel(bits=6)
+        phases = rng.uniform(-np.pi, np.pi, 100)
+        errors = np.abs(shifter.quantize(phases) - phases)
+        assert errors.max() <= shifter.step / 2 + 1e-12
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ReflectorError):
+            PhaseShifterModel(bits=0)
+
+
+class TestLnaAndAntennaSwitch:
+    def test_lna_gain(self):
+        assert LnaModel(gain_db=20.0).amplitude_gain == pytest.approx(10.0)
+
+    def test_lna_rejects_negative(self):
+        with pytest.raises(ReflectorError):
+            LnaModel(gain_db=-3.0)
+
+    def test_sp8t_port_check(self):
+        switch = AntennaSwitchModel(num_ports=8)
+        assert switch.check_port(7) == 7
+        with pytest.raises(ReflectorError):
+            switch.check_port(8)
+        with pytest.raises(ReflectorError):
+            switch.check_port(-1)
+
+
+class TestReflectorPanel:
+    def _panel(self, **kwargs):
+        defaults = dict(num_antennas=6, spacing=0.2, wall_angle=0.0,
+                        normal_angle=np.pi / 2)
+        defaults.update(kwargs)
+        return ReflectorPanel((5.0, 1.3), **defaults)
+
+    def test_antenna_positions_span(self):
+        panel = self._panel()
+        positions = panel.antenna_positions()
+        assert positions.shape == (6, 2)
+        assert panel.span == pytest.approx(1.0)
+        assert positions.mean(axis=0) == pytest.approx([5.0, 1.3])
+        assert np.all(positions[:, 1] == pytest.approx(1.3))
+
+    def test_antenna_position_bounds(self):
+        panel = self._panel()
+        with pytest.raises(ReflectorError):
+            panel.antenna_position(6)
+
+    def test_default_radar_position_behind_panel(self):
+        panel = self._panel()
+        radar = panel.default_radar_position(1.2)
+        assert radar == pytest.approx([5.0, 0.1])
+
+    def test_antenna_angles_spread(self):
+        panel = self._panel()
+        low, high = panel.angular_coverage()
+        # 1.0 m span at 1.2 m standoff: roughly +-22.6 deg about broadside.
+        assert np.degrees(high - low) == pytest.approx(45.2, abs=2.0)
+
+    def test_nearest_antenna_monotone(self):
+        panel = self._panel()
+        angles = panel.antenna_angles()
+        for index, angle in enumerate(angles):
+            assert panel.nearest_antenna(angle) == index
+
+    def test_rejects_degenerate_normal(self):
+        with pytest.raises(ReflectorError):
+            self._panel(normal_angle=0.0)
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ReflectorError):
+            self._panel(num_antennas=0)
+        with pytest.raises(ReflectorError):
+            self._panel(spacing=0.0)

@@ -1,0 +1,128 @@
+"""Tests for repro.signal.chirp: the FMCW arithmetic of Sec. 3 / Eq. 1-3."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.errors import ConfigurationError
+from repro.signal import ChirpConfig
+
+
+class TestChirpConfigValidation:
+    def test_defaults_match_paper(self):
+        chirp = ChirpConfig()
+        assert chirp.start_frequency == pytest.approx(6.0e9)
+        assert chirp.bandwidth == pytest.approx(1.0e9)
+        assert chirp.duration == pytest.approx(500e-6)
+
+    @pytest.mark.parametrize("field, value", [
+        ("start_frequency", 0.0),
+        ("bandwidth", -1.0),
+        ("duration", 0.0),
+        ("sample_rate", 0.0),
+    ])
+    def test_rejects_nonpositive(self, field, value):
+        with pytest.raises(ConfigurationError):
+            ChirpConfig(**{field: value})
+
+    def test_rejects_too_few_samples(self):
+        with pytest.raises(ConfigurationError):
+            ChirpConfig(duration=1e-6, sample_rate=1e6)
+
+
+class TestDerivedQuantities:
+    def test_slope(self):
+        chirp = ChirpConfig()
+        assert chirp.slope == pytest.approx(1e9 / 500e-6)
+
+    def test_range_resolution_is_15cm(self):
+        # C / (2B) for a 1 GHz sweep (Sec. 3).
+        assert ChirpConfig().range_resolution == pytest.approx(0.15, abs=0.001)
+
+    def test_wavelength_at_band_center(self):
+        chirp = ChirpConfig()
+        assert chirp.center_frequency == pytest.approx(6.5e9)
+        assert chirp.wavelength == pytest.approx(
+            constants.SPEED_OF_LIGHT / 6.5e9
+        )
+
+    def test_num_samples(self):
+        chirp = ChirpConfig(sample_rate=2e6)
+        assert chirp.num_samples == 1000
+
+    def test_sample_times_span_duration(self):
+        chirp = ChirpConfig()
+        times = chirp.sample_times()
+        assert times[0] == 0.0
+        assert times[-1] == pytest.approx(chirp.duration - 1 / chirp.sample_rate)
+
+
+class TestDistanceBeatMapping:
+    def test_distance_to_delay_roundtrip(self):
+        chirp = ChirpConfig()
+        assert chirp.delay_to_distance(chirp.distance_to_delay(7.3)) == \
+            pytest.approx(7.3)
+
+    def test_beat_frequency_roundtrip(self):
+        chirp = ChirpConfig()
+        distance = 5.0
+        beat = chirp.distance_to_beat_frequency(distance)
+        assert chirp.beat_frequency_to_distance(beat) == pytest.approx(distance)
+
+    def test_beat_frequency_scale(self):
+        # 5 m -> tau = 33.3 ns -> f_b = sl * tau = 2e12 * 33.3e-9 ~ 66.7 kHz
+        chirp = ChirpConfig()
+        assert chirp.distance_to_beat_frequency(5.0) == pytest.approx(
+            66.7e3, rel=0.01
+        )
+
+    def test_max_unambiguous_range(self):
+        chirp = ChirpConfig(sample_rate=2e6)
+        # fs/2 = 1 MHz -> distance = C * 1e6 / (2 * 2e12) = 75 m
+        assert chirp.max_unambiguous_range == pytest.approx(75.0, rel=0.01)
+
+
+class TestSwitchFrequencyMapping:
+    """Eq. 3: the RF-Protect distance-spoofing relation."""
+
+    def test_offset_roundtrip(self):
+        chirp = ChirpConfig()
+        offset = 3.7
+        frequency = chirp.switch_frequency_for_offset(offset)
+        assert chirp.offset_for_switch_frequency(frequency) == \
+            pytest.approx(offset)
+
+    def test_paper_scale_tens_of_khz(self):
+        # The paper says home-scale shifts need "tens to hundred kHz".
+        chirp = ChirpConfig()
+        f_low = float(chirp.switch_frequency_for_offset(1.0))
+        f_high = float(chirp.switch_frequency_for_offset(10.0))
+        assert 10e3 <= f_low <= 30e3
+        assert 100e3 <= f_high <= 200e3
+
+    def test_linear_in_offset(self):
+        chirp = ChirpConfig()
+        f1 = chirp.switch_frequency_for_offset(1.0)
+        f4 = chirp.switch_frequency_for_offset(4.0)
+        assert f4 == pytest.approx(4.0 * f1)
+
+    def test_slope_change_rescales_distance(self):
+        # Sec. 5.1: a different slope scales spoofed distances, preserving
+        # the trajectory structure.
+        slow = ChirpConfig(duration=1000e-6)
+        fast = ChirpConfig(duration=500e-6)
+        frequency = 50e3
+        ratio = (slow.offset_for_switch_frequency(frequency)
+                 / fast.offset_for_switch_frequency(frequency))
+        assert ratio == pytest.approx(2.0)
+
+
+class TestCarrierPhase:
+    def test_phase_change_per_wavelength(self):
+        # Moving the reflector by lambda/2 (round trip = lambda) rotates the
+        # carrier phase by 2 pi — the breathing observable.
+        chirp = ChirpConfig()
+        wavelength_at_start = constants.SPEED_OF_LIGHT / chirp.start_frequency
+        delta = (chirp.carrier_phase(2.0 + wavelength_at_start / 2)
+                 - chirp.carrier_phase(2.0))
+        assert delta == pytest.approx(2.0 * np.pi, rel=1e-9)

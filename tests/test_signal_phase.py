@@ -1,0 +1,72 @@
+"""Tests for repro.signal.phase: phase extraction and period estimation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SignalProcessingError
+from repro.signal import dominant_period, extract_phase, unwrap_phase
+
+
+class TestExtractPhase:
+    def test_reads_correct_bin(self):
+        frames = np.ones((5, 8), dtype=complex)
+        frames[:, 3] = np.exp(1j * np.linspace(0, 1, 5))
+        phase = extract_phase(frames, 3)
+        assert phase == pytest.approx(np.linspace(0, 1, 5))
+
+    def test_rejects_bad_bin(self):
+        with pytest.raises(SignalProcessingError):
+            extract_phase(np.ones((5, 8), dtype=complex), 8)
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(SignalProcessingError):
+            extract_phase(np.ones(8, dtype=complex), 0)
+
+
+class TestUnwrapPhase:
+    def test_unwraps_monotone_ramp(self):
+        true_phase = np.linspace(0, 6 * np.pi, 100)
+        wrapped = np.angle(np.exp(1j * true_phase))
+        unwrapped = unwrap_phase(wrapped)
+        assert unwrapped - unwrapped[0] == pytest.approx(
+            true_phase - true_phase[0], abs=1e-9
+        )
+
+    def test_rejects_empty(self):
+        with pytest.raises(SignalProcessingError):
+            unwrap_phase(np.empty(0))
+
+
+class TestDominantPeriod:
+    def test_recovers_sinusoid_period(self):
+        dt = 0.1
+        t = np.arange(0, 40, dt)
+        series = 0.3 * np.sin(2 * np.pi * t / 4.0)
+        assert dominant_period(series, dt) == pytest.approx(4.0, rel=0.05)
+
+    def test_ignores_linear_trend(self):
+        dt = 0.1
+        t = np.arange(0, 40, dt)
+        series = 0.1 * np.sin(2 * np.pi * t / 5.0) + 0.5 * t
+        assert dominant_period(series, dt) == pytest.approx(5.0, rel=0.05)
+
+    def test_band_limits_respected(self):
+        dt = 0.05
+        t = np.arange(0, 40, dt)
+        # 0.5 s oscillation is outside the [1, 15] s band; a weak 6 s one
+        # inside the band must win.
+        series = np.sin(2 * np.pi * t / 0.5) + 0.1 * np.sin(2 * np.pi * t / 6.0)
+        assert dominant_period(series, dt) == pytest.approx(6.0, rel=0.1)
+
+    def test_rejects_too_short_series(self):
+        with pytest.raises(SignalProcessingError):
+            dominant_period(np.ones(10), dt=0.1, max_period=15.0)
+
+    def test_rejects_bad_band(self):
+        series = np.ones(1000)
+        with pytest.raises(SignalProcessingError):
+            dominant_period(series, dt=0.1, min_period=5.0, max_period=2.0)
+
+    def test_rejects_bad_dt(self):
+        with pytest.raises(SignalProcessingError):
+            dominant_period(np.ones(100), dt=0.0)

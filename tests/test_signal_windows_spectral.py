@@ -1,0 +1,137 @@
+"""Tests for repro.signal.windows and repro.signal.spectral."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SignalProcessingError
+from repro.signal import ChirpConfig, beat_spectrum, find_spectral_peaks, get_window
+from repro.signal.spectral import range_axis, range_fft
+from repro.signal.windows import blackman, hamming, hann, rectangular
+
+
+class TestWindows:
+    @pytest.mark.parametrize("factory", [rectangular, hann, hamming, blackman])
+    def test_length_and_bounds(self, factory):
+        window = factory(64)
+        assert window.shape == (64,)
+        assert np.all(window <= 1.0 + 1e-12)
+        assert np.all(window >= -1e-12)
+
+    @pytest.mark.parametrize("factory", [hann, hamming, blackman])
+    def test_symmetry(self, factory):
+        window = factory(33)
+        assert window == pytest.approx(window[::-1])
+
+    def test_hann_endpoints_zero(self):
+        window = hann(17)
+        assert window[0] == pytest.approx(0.0, abs=1e-12)
+        assert window[-1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_length_one(self):
+        for factory in (rectangular, hann, hamming, blackman):
+            assert factory(1) == pytest.approx([1.0])
+
+    def test_get_window_by_name(self):
+        assert get_window("Hann", 8) == pytest.approx(hann(8))
+
+    def test_get_window_unknown_name(self):
+        with pytest.raises(SignalProcessingError):
+            get_window("kaiser", 8)
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(SignalProcessingError):
+            hann(0)
+
+
+def _beat_tone(chirp: ChirpConfig, distance: float,
+               amplitude: float = 1.0) -> np.ndarray:
+    t = chirp.sample_times()
+    beat = chirp.distance_to_beat_frequency(distance)
+    return amplitude * np.exp(1j * 2 * np.pi * beat * t)
+
+
+class TestRangeFft:
+    def test_single_tone_peaks_at_distance(self):
+        chirp = ChirpConfig()
+        distance = 4.2
+        spectrum = beat_spectrum(_beat_tone(chirp, distance), chirp)
+        ranges = range_axis(chirp)
+        measured = ranges[int(np.argmax(spectrum))]
+        assert measured == pytest.approx(distance, abs=chirp.range_resolution)
+
+    def test_two_tones_resolved_beyond_resolution(self):
+        chirp = ChirpConfig()
+        d1, d2 = 3.0, 3.0 + 4 * chirp.range_resolution
+        signal = _beat_tone(chirp, d1) + _beat_tone(chirp, d2)
+        spectrum = beat_spectrum(signal, chirp)
+        peaks = find_spectral_peaks(spectrum, min_height=spectrum.max() / 10,
+                                    min_separation=2, max_peaks=2)
+        ranges = range_axis(chirp)
+        measured = sorted(ranges[i] for i in peaks)
+        assert measured[0] == pytest.approx(d1, abs=chirp.range_resolution)
+        assert measured[1] == pytest.approx(d2, abs=chirp.range_resolution)
+
+    def test_multi_antenna_shape(self):
+        chirp = ChirpConfig()
+        frame = np.vstack([_beat_tone(chirp, 2.0)] * 7)
+        profile = range_fft(frame, chirp, zero_pad_factor=2)
+        assert profile.shape == (7, chirp.num_samples)
+
+    def test_rejects_wrong_sample_count(self):
+        chirp = ChirpConfig()
+        with pytest.raises(SignalProcessingError):
+            range_fft(np.zeros(10, dtype=complex), chirp)
+
+    def test_rejects_bad_zero_pad(self):
+        chirp = ChirpConfig()
+        with pytest.raises(SignalProcessingError):
+            range_fft(_beat_tone(chirp, 1.0), chirp, zero_pad_factor=0)
+
+    def test_range_axis_monotonic_from_zero(self):
+        chirp = ChirpConfig()
+        ranges = range_axis(chirp)
+        assert ranges[0] == 0.0
+        assert np.all(np.diff(ranges) > 0)
+
+    def test_range_axis_bin_width(self):
+        chirp = ChirpConfig()
+        ranges = range_axis(chirp, zero_pad_factor=2)
+        # Zero padding by 2 halves the bin width relative to C/2B.
+        assert ranges[1] - ranges[0] == pytest.approx(
+            chirp.range_resolution / 2, rel=1e-6
+        )
+
+
+class TestFindSpectralPeaks:
+    def test_empty_for_short_input(self):
+        assert find_spectral_peaks(np.array([1.0, 2.0])) == []
+
+    def test_finds_interior_maximum(self):
+        spectrum = np.array([0.0, 1.0, 5.0, 1.0, 0.0])
+        assert find_spectral_peaks(spectrum) == [2]
+
+    def test_strongest_first(self):
+        spectrum = np.array([0.0, 3.0, 0.0, 9.0, 0.0, 5.0, 0.0])
+        assert find_spectral_peaks(spectrum) == [3, 5, 1]
+
+    def test_min_height_filters(self):
+        spectrum = np.array([0.0, 3.0, 0.0, 9.0, 0.0])
+        assert find_spectral_peaks(spectrum, min_height=5.0) == [3]
+
+    def test_min_separation_suppresses_neighbours(self):
+        spectrum = np.array([0.0, 5.0, 4.0, 6.0, 0.0, 0.0, 3.0, 0.0])
+        peaks = find_spectral_peaks(spectrum, min_separation=3)
+        assert 3 in peaks
+        assert 1 not in peaks  # within 3 bins of the stronger peak at 3
+
+    def test_max_peaks_limits(self):
+        spectrum = np.array([0.0, 3.0, 0.0, 9.0, 0.0, 5.0, 0.0])
+        assert len(find_spectral_peaks(spectrum, max_peaks=2)) == 2
+
+    def test_rejects_2d(self):
+        with pytest.raises(SignalProcessingError):
+            find_spectral_peaks(np.zeros((3, 3)))
+
+    def test_rejects_bad_separation(self):
+        with pytest.raises(SignalProcessingError):
+            find_spectral_peaks(np.zeros(8), min_separation=0)

@@ -1,0 +1,211 @@
+"""Tests for repro.trajectories: synthesis, labels, dataset, IO."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.geometry import Rectangle
+from repro.trajectories import (
+    DEFAULT_RANGE_EDGES,
+    HumanMotionSimulator,
+    MotionProfile,
+    TrajectoryDataset,
+    load_dataset,
+    range_class,
+    range_class_of_trajectory,
+    save_dataset,
+)
+from repro.types import Trajectory
+
+
+class TestRangeLabels:
+    def test_class_boundaries(self):
+        assert range_class(0.1) == 0
+        assert range_class(1.0) == 1
+        assert range_class(2.0) == 2
+        assert range_class(4.0) == 3
+        assert range_class(10.0) == 4
+
+    def test_edges_exclusive_inclusive(self):
+        edge = DEFAULT_RANGE_EDGES[0]
+        assert range_class(edge) == 0        # right-closed on the left class
+        assert range_class(edge + 1e-9) == 1
+
+    def test_rejects_negative_range(self):
+        with pytest.raises(DatasetError):
+            range_class(-0.1)
+
+    def test_rejects_bad_edges(self):
+        with pytest.raises(DatasetError):
+            range_class(1.0, edges=(1.0, 0.5, 2.0, 3.0))
+        with pytest.raises(DatasetError):
+            range_class(1.0, edges=(1.0, 2.0))
+
+    def test_trajectory_labelling(self):
+        trajectory = Trajectory([[0.0, 0.0], [2.0, 0.0]], dt=1.0)
+        assert range_class_of_trajectory(trajectory) == 2
+
+
+class TestMotionProfile:
+    def test_rejects_invalid(self):
+        with pytest.raises(DatasetError):
+            MotionProfile(preferred_speed=-1.0, goal_radius=1.0,
+                          pause_probability=0.1, jitter=0.1)
+        with pytest.raises(DatasetError):
+            MotionProfile(preferred_speed=1.0, goal_radius=1.0,
+                          pause_probability=1.0, jitter=0.1)
+
+
+class TestHumanMotionSimulator:
+    def test_trace_format_matches_paper(self, rng):
+        simulator = HumanMotionSimulator(rng=rng)
+        trajectory = simulator.sample_trajectory()
+        assert len(trajectory) == 50
+        assert trajectory.duration == pytest.approx(10.0)
+        assert trajectory.label is not None
+
+    def test_trajectories_stay_in_area(self, rng):
+        area = Rectangle.from_size(5.0, 4.0)
+        simulator = HumanMotionSimulator(area, rng=rng)
+        for _ in range(20):
+            trajectory = simulator.sample_trajectory()
+            assert area.contains_all(trajectory.points)
+
+    def test_speeds_are_human_scale(self, rng):
+        simulator = HumanMotionSimulator(rng=rng)
+        for profile_index in range(5):
+            trajectory = simulator.sample_trajectory(profile_index)
+            assert trajectory.speeds().max() < 3.0  # nobody sprints indoors
+
+    def test_faster_profiles_cover_more_range(self, rng):
+        simulator = HumanMotionSimulator(rng=rng)
+        slow = np.mean([simulator.sample_trajectory(0).motion_range()
+                        for _ in range(15)])
+        fast = np.mean([simulator.sample_trajectory(4).motion_range()
+                        for _ in range(15)])
+        assert fast > 2.0 * slow
+
+    def test_trajectories_are_smooth(self, rng):
+        # Human motion can't jump: max per-step displacement is bounded by
+        # max speed * dt.
+        simulator = HumanMotionSimulator(rng=rng)
+        for _ in range(10):
+            trajectory = simulator.sample_trajectory()
+            assert trajectory.step_lengths().max() < 0.8
+
+    def test_rejects_bad_profile_index(self, rng):
+        simulator = HumanMotionSimulator(rng=rng)
+        with pytest.raises(DatasetError):
+            simulator.sample_trajectory(99)
+
+    def test_build_dataset_size_and_classes(self, rng):
+        simulator = HumanMotionSimulator(rng=rng)
+        dataset = simulator.build_dataset(100)
+        assert len(dataset) == 100
+        counts = dataset.class_counts()
+        assert counts.sum() == 100
+        assert np.count_nonzero(counts) >= 4  # nearly all classes populated
+
+
+class TestTrajectoryDataset:
+    def _dataset(self, count=10, num_points=20):
+        trajectories = [
+            Trajectory(np.cumsum(np.full((num_points, 2), 0.1 * (i + 1)),
+                                 axis=0), dt=0.2, label=i % 5)
+            for i in range(count)
+        ]
+        return TrajectoryDataset(trajectories)
+
+    def test_rejects_mixed_lengths(self):
+        a = Trajectory(np.zeros((10, 2)) + np.arange(10)[:, None], dt=0.2)
+        b = Trajectory(np.zeros((11, 2)) + np.arange(11)[:, None], dt=0.2)
+        with pytest.raises(DatasetError):
+            TrajectoryDataset([a, b])
+
+    def test_rejects_mixed_dt(self):
+        a = Trajectory(np.arange(20.0).reshape(10, 2), dt=0.2)
+        b = Trajectory(np.arange(20.0).reshape(10, 2), dt=0.3)
+        with pytest.raises(DatasetError):
+            TrajectoryDataset([a, b])
+
+    def test_rejects_empty(self):
+        with pytest.raises(DatasetError):
+            TrajectoryDataset([])
+
+    def test_steps_array_shape(self):
+        dataset = self._dataset(count=4, num_points=20)
+        assert dataset.steps_array().shape == (4, 19, 2)
+
+    def test_step_scale_is_rms(self):
+        dataset = self._dataset()
+        steps = dataset.steps_array()
+        assert dataset.step_scale() == pytest.approx(
+            float(np.sqrt(np.mean(steps ** 2)))
+        )
+
+    def test_normalized_steps_unit_rms(self):
+        dataset = self._dataset()
+        normalized = dataset.normalized_steps()
+        assert np.sqrt(np.mean(normalized ** 2)) == pytest.approx(1.0)
+
+    def test_split_partitions(self, rng):
+        dataset = self._dataset(count=10)
+        first, second = dataset.split(0.3, rng)
+        assert len(first) == 3
+        assert len(second) == 7
+
+    def test_split_rejects_degenerate_fraction(self, rng):
+        dataset = self._dataset(count=10)
+        with pytest.raises(DatasetError):
+            dataset.split(0.0, rng)
+
+    def test_batches_shapes_and_coverage(self, rng):
+        dataset = self._dataset(count=10, num_points=20)
+        batches = list(dataset.batches(4, rng))
+        assert len(batches) == 2  # 10 // 4, short batch dropped
+        for steps, labels in batches:
+            assert steps.shape == (4, 19, 2)
+            assert labels.shape == (4,)
+
+    def test_filter_by_class(self):
+        dataset = self._dataset(count=10)
+        subset = dataset.filter_by_class(2)
+        assert all(t.label == 2 for t in subset)
+
+    def test_filter_missing_class_raises(self):
+        dataset = self._dataset(count=3)  # labels 0, 1, 2 only
+        with pytest.raises(DatasetError):
+            dataset.filter_by_class(4)
+
+    def test_subset(self):
+        dataset = self._dataset(count=5)
+        subset = dataset.subset([0, 2])
+        assert len(subset) == 2
+
+
+class TestDatasetIo:
+    def test_roundtrip(self, tmp_path, rng):
+        simulator = HumanMotionSimulator(rng=rng)
+        dataset = simulator.build_dataset(8)
+        path = tmp_path / "traces.npz"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        assert len(loaded) == len(dataset)
+        assert loaded.dt == pytest.approx(dataset.dt)
+        assert loaded.positions_array() == pytest.approx(
+            dataset.positions_array()
+        )
+        assert np.array_equal(loaded.labels(), dataset.labels())
+
+    def test_load_rejects_missing_entries(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, positions=np.zeros((2, 5, 2)))
+        with pytest.raises(DatasetError):
+            load_dataset(path)
+
+    def test_load_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, version=np.array(99), positions=np.zeros((1, 5, 2)),
+                 labels=np.zeros(1, dtype=np.int64), dt=np.array(0.2))
+        with pytest.raises(DatasetError):
+            load_dataset(path)

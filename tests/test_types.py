@@ -1,0 +1,154 @@
+"""Tests for repro.types: Trajectory and PolarPoint."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.types import PolarPoint, Trajectory, as_points_array
+
+
+class TestAsPointsArray:
+    def test_accepts_list_of_pairs(self):
+        arr = as_points_array([[0.0, 1.0], [2.0, 3.0]])
+        assert arr.shape == (2, 2)
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ConfigurationError):
+            as_points_array([[1.0, 2.0, 3.0]])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            as_points_array(np.empty((0, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ConfigurationError):
+            as_points_array([[0.0, np.nan]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ConfigurationError):
+            as_points_array([[np.inf, 0.0]])
+
+
+class TestPolarPoint:
+    def test_to_cartesian_at_origin(self):
+        point = PolarPoint(radius=2.0, angle=np.pi / 2)
+        xy = point.to_cartesian()
+        assert xy == pytest.approx([0.0, 2.0], abs=1e-12)
+
+    def test_to_cartesian_with_origin(self):
+        point = PolarPoint(radius=1.0, angle=0.0)
+        xy = point.to_cartesian(origin=(3.0, 4.0))
+        assert xy == pytest.approx([4.0, 4.0])
+
+
+class TestTrajectoryBasics:
+    def test_rejects_nonpositive_dt(self):
+        with pytest.raises(ConfigurationError):
+            Trajectory([[0, 0], [1, 1]], dt=0.0)
+
+    def test_len_and_iter(self):
+        trajectory = Trajectory([[0, 0], [1, 0], [2, 0]], dt=0.5)
+        assert len(trajectory) == 3
+        assert [tuple(p) for p in trajectory] == [(0, 0), (1, 0), (2, 0)]
+
+    def test_duration_and_times(self):
+        trajectory = Trajectory([[0, 0], [1, 0], [2, 0]], dt=0.5)
+        assert trajectory.duration == pytest.approx(1.0)
+        assert trajectory.times == pytest.approx([0.0, 0.5, 1.0])
+
+    def test_path_length_straight_line(self):
+        trajectory = Trajectory([[0, 0], [3, 4]], dt=1.0)
+        assert trajectory.path_length() == pytest.approx(5.0)
+
+    def test_speeds(self):
+        trajectory = Trajectory([[0, 0], [1, 0], [1, 2]], dt=0.5)
+        assert trajectory.speeds() == pytest.approx([2.0, 4.0])
+
+    def test_headings(self):
+        trajectory = Trajectory([[0, 0], [1, 0], [1, 1]], dt=1.0)
+        assert trajectory.headings() == pytest.approx([0.0, np.pi / 2])
+
+    def test_turning_angles_wrap(self):
+        # Heading goes from +170 deg to -170 deg: turning angle is +20 deg,
+        # not -340.
+        a0 = np.array([0.0, 0.0])
+        a1 = a0 + [math.cos(math.radians(170)), math.sin(math.radians(170))]
+        a2 = a1 + [math.cos(math.radians(-170)), math.sin(math.radians(-170))]
+        trajectory = Trajectory(np.vstack([a0, a1, a2]), dt=1.0)
+        assert trajectory.turning_angles() == pytest.approx(
+            [math.radians(20.0)], abs=1e-9
+        )
+
+    def test_motion_range_is_bbox_diagonal(self):
+        trajectory = Trajectory([[0, 0], [3, 0], [3, 4]], dt=1.0)
+        assert trajectory.motion_range() == pytest.approx(5.0)
+
+
+class TestTrajectoryTransforms:
+    def test_centered_has_zero_centroid(self):
+        trajectory = Trajectory([[1, 2], [3, 4], [5, 0]], dt=1.0)
+        assert trajectory.centered().centroid() == pytest.approx([0.0, 0.0])
+
+    def test_translated(self):
+        trajectory = Trajectory([[0, 0], [1, 1]], dt=1.0)
+        moved = trajectory.translated([10.0, -2.0])
+        assert moved.points[0] == pytest.approx([10.0, -2.0])
+
+    def test_translated_rejects_bad_offset(self):
+        trajectory = Trajectory([[0, 0], [1, 1]], dt=1.0)
+        with pytest.raises(ConfigurationError):
+            trajectory.translated([1.0, 2.0, 3.0])
+
+    def test_rotated_quarter_turn(self):
+        trajectory = Trajectory([[1, 0], [2, 0]], dt=1.0)
+        rotated = trajectory.rotated(np.pi / 2)
+        assert rotated.points[0] == pytest.approx([0.0, 1.0], abs=1e-12)
+        assert rotated.points[1] == pytest.approx([0.0, 2.0], abs=1e-12)
+
+    def test_rotation_preserves_lengths(self):
+        trajectory = Trajectory([[0, 0], [1, 2], [-1, 3]], dt=1.0)
+        rotated = trajectory.rotated(0.7, about=(5.0, 5.0))
+        assert rotated.step_lengths() == pytest.approx(trajectory.step_lengths())
+
+    def test_scaled_rejects_nonpositive(self):
+        trajectory = Trajectory([[0, 0], [1, 1]], dt=1.0)
+        with pytest.raises(ConfigurationError):
+            trajectory.scaled(0.0)
+
+    def test_resampled_preserves_endpoints(self):
+        trajectory = Trajectory([[0, 0], [1, 0], [2, 0]], dt=1.0)
+        resampled = trajectory.resampled(7)
+        assert len(resampled) == 7
+        assert resampled.points[0] == pytest.approx([0.0, 0.0])
+        assert resampled.points[-1] == pytest.approx([2.0, 0.0])
+        assert resampled.duration == pytest.approx(trajectory.duration)
+
+    def test_resampled_rejects_single_point(self):
+        trajectory = Trajectory([[0, 0], [1, 0]], dt=1.0)
+        with pytest.raises(ConfigurationError):
+            trajectory.resampled(1)
+
+    def test_label_preserved_by_transforms(self):
+        trajectory = Trajectory([[0, 0], [1, 1]], dt=1.0, label=3)
+        assert trajectory.centered().label == 3
+        assert trajectory.resampled(5).label == 3
+
+
+class TestTrajectoryPolar:
+    def test_to_polar_roundtrip(self):
+        trajectory = Trajectory([[1, 1], [2, 0], [0, 3]], dt=1.0)
+        origin = (0.5, -0.5)
+        polar = trajectory.to_polar(origin)
+        back = Trajectory.from_polar(polar, dt=1.0, origin=origin)
+        assert back.points == pytest.approx(trajectory.points)
+
+    def test_position_at_interpolates(self):
+        trajectory = Trajectory([[0, 0], [2, 0]], dt=1.0)
+        assert trajectory.position_at(0.5) == pytest.approx([1.0, 0.0])
+
+    def test_position_at_clamps(self):
+        trajectory = Trajectory([[0, 0], [2, 0]], dt=1.0)
+        assert trajectory.position_at(-5.0) == pytest.approx([0.0, 0.0])
+        assert trajectory.position_at(99.0) == pytest.approx([2.0, 0.0])
