@@ -5,13 +5,20 @@ neural engine: frame synthesis, range-angle processing, full sensing
 sessions, LSTM steps, and GAN training steps.
 """
 
+import time
+
 import numpy as np
 import pytest
 
 from repro.experiments.environments import office_environment
 from repro.gan import GanConfig, GanTrainer
 from repro.nn import LSTM, Tensor
-from repro.radar import PathComponent, synthesize_frame
+from repro.radar import (
+    PathComponent,
+    synthesize_frame,
+    synthesize_frame_naive,
+    synthesize_frames,
+)
 from repro.radar.processing import compute_range_angle_map, frame_range_profiles
 from repro.trajectories import HumanMotionSimulator
 from repro.types import Trajectory
@@ -20,6 +27,20 @@ from repro.types import Trajectory
 @pytest.fixture(scope="module")
 def office():
     return office_environment()
+
+
+def sweep_components(num_components: int) -> list[PathComponent]:
+    rng = np.random.default_rng(0)
+    return [
+        PathComponent(
+            distance=float(rng.uniform(1.0, 12.0)),
+            angle=float(rng.uniform(0.2, np.pi - 0.2)),
+            amplitude=float(rng.uniform(0.01, 0.2)),
+            beat_offset_hz=float(rng.uniform(-3e4, 3e4)),
+            phase_offset=float(rng.uniform(0.0, 2.0 * np.pi)),
+        )
+        for _ in range(num_components)
+    ]
 
 
 @pytest.mark.benchmark(group="substrate-radar")
@@ -31,6 +52,55 @@ def test_bench_frame_synthesis(benchmark, office):
     frame = benchmark(synthesize_frame, components, office.radar_config,
                       radar.array, rng)
     assert frame.shape == (7, office.radar_config.chirp.num_samples)
+
+
+@pytest.mark.benchmark(group="substrate-radar")
+def test_bench_sweep_synthesis_vectorized(benchmark, office):
+    """The batched engine on a 50-component, 128-chirp sweep."""
+    radar = office.make_radar()
+    per_frame = [sweep_components(50)] * 128
+    frames = benchmark(synthesize_frames, per_frame, office.radar_config,
+                       radar.array, None)
+    assert frames.shape == (128, 7, office.radar_config.chirp.num_samples)
+
+
+@pytest.mark.benchmark(group="substrate-radar")
+def test_bench_sweep_synthesis_speedup(office):
+    """Vectorized vs naive on a 50-component, 128-chirp sweep: >= 5x.
+
+    Measured directly (best of 3) rather than through pytest-benchmark so
+    the ratio can be asserted as a regression guard.
+    """
+    radar = office.make_radar()
+    config = office.radar_config
+    components = sweep_components(50)
+    per_frame = [components] * 128
+
+    def naive_sweep():
+        return [synthesize_frame_naive(c, config, radar.array, None)
+                for c in per_frame]
+
+    def vectorized_sweep():
+        return synthesize_frames(per_frame, config, radar.array, None)
+
+    def best_of(fn, rounds=3):
+        elapsed = []
+        for _ in range(rounds):
+            started = time.perf_counter()
+            fn()
+            elapsed.append(time.perf_counter() - started)
+        return min(elapsed)
+
+    vectorized_sweep()  # warm caches / BLAS threads before timing
+    naive_s = best_of(naive_sweep)
+    vectorized_s = best_of(vectorized_sweep)
+    speedup = naive_s / vectorized_s
+    print(f"\nsweep 50 components x 128 chirps: naive {naive_s * 1e3:.1f} ms, "
+          f"vectorized {vectorized_s * 1e3:.1f} ms, speedup {speedup:.1f}x")
+
+    reference = np.stack(naive_sweep())
+    np.testing.assert_allclose(vectorized_sweep(), reference, atol=1e-10)
+    assert speedup >= 5.0
 
 
 @pytest.mark.benchmark(group="substrate-radar")

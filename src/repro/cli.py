@@ -6,17 +6,17 @@ Usage::
     rfprotect run fig7             # full run of one experiment
     rfprotect run fig11 --fast     # quick (seconds-scale) run
     rfprotect run all --fast       # every experiment, quick settings
+    rfprotect run all --fast --workers 4   # fan out over 4 processes
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 from collections.abc import Sequence
 
 from repro.errors import ReproError
-from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.experiments.runner import EXPERIMENTS, run_experiments
 
 __all__ = ["main"]
 
@@ -43,17 +43,26 @@ def _build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=None,
         help="override the experiment's random seed",
     )
+    run_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for multi-experiment runs (default: 1)",
+    )
+    run_parser.add_argument(
+        "--record-dir", default=None,
+        help="write a per-experiment timing/result JSON record here",
+    )
     return parser
 
 
-def _run_one(experiment_id: str, *, fast: bool, seed: int | None) -> None:
+def _run_all(experiment_ids: list[str], *, fast: bool, seed: int | None,
+             workers: int, record_dir: str | None) -> None:
     options = {} if seed is None else {"seed": seed}
-    started = time.perf_counter()
-    result = run_experiment(experiment_id, fast=fast, **options)
-    elapsed = time.perf_counter() - started
-    print(result.format_table())
-    print(f"[{experiment_id} finished in {elapsed:.1f}s]")
-    print()
+    runs = run_experiments(experiment_ids, fast=fast, workers=workers,
+                           record_dir=record_dir, **options)
+    for run in runs:
+        print(run.result.format_table())
+        print(f"[{run.experiment_id} finished in {run.elapsed_s:.1f}s]")
+        print()
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -70,8 +79,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     targets = (sorted(EXPERIMENTS) if args.experiment == "all"
                else [args.experiment])
     try:
-        for experiment_id in targets:
-            _run_one(experiment_id, fast=args.fast, seed=args.seed)
+        _run_all(targets, fast=args.fast, seed=args.seed,
+                 workers=args.workers, record_dir=args.record_dir)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -1,9 +1,24 @@
-"""Experiment registry: map paper figure/table ids to their run functions."""
+"""Experiment registry: map paper figure/table ids to their run functions.
+
+Besides the single-experiment entry point (:func:`run_experiment`), this
+module provides :func:`run_experiments`, a process-parallel fan-out over
+several experiment ids. Seeding is worker-count independent: when a base
+seed is given, each experiment's seed is spawned from one
+``np.random.SeedSequence`` by *position in the id list*, so ``workers=1``
+and ``workers=8`` produce bit-identical results.
+"""
 
 from __future__ import annotations
 
+import concurrent.futures
 import dataclasses
-from collections.abc import Callable
+import json
+import os
+import time
+from collections.abc import Callable, Sequence
+from typing import Any
+
+import numpy as np
 
 from repro.errors import ExperimentError
 from repro.experiments import (
@@ -20,7 +35,14 @@ from repro.experiments import (
     table1,
 )
 
-__all__ = ["EXPERIMENTS", "ExperimentSpec", "run_experiment"]
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentRun",
+    "ExperimentSpec",
+    "experiment_seeds",
+    "run_experiment",
+    "run_experiments",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -111,3 +133,118 @@ def run_experiment(experiment_id: str, *, fast: bool = False, **options):
     kwargs = dict(spec.fast_options) if fast else {}
     kwargs.update(options)
     return spec.run(**kwargs)
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentRun:
+    """Timing/result record for one executed experiment.
+
+    Attributes:
+        experiment_id: the registry id that was run.
+        result: the experiment's result object (``Fig9Result`` etc.).
+        elapsed_s: wall-clock runtime of the run function.
+        options: the exact keyword overrides the run function received on
+            top of any fast presets (including a spawned ``seed``, if any).
+    """
+
+    experiment_id: str
+    result: Any
+    elapsed_s: float
+    options: dict
+
+    def record(self) -> dict:
+        """A small JSON-serializable summary of this run."""
+        return {
+            "experiment_id": self.experiment_id,
+            "elapsed_s": self.elapsed_s,
+            "options": {key: _jsonable(value)
+                        for key, value in sorted(self.options.items())},
+            "result_type": type(self.result).__name__,
+        }
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return repr(value)
+
+
+def experiment_seeds(num_experiments: int, base_seed: int) -> list[int]:
+    """Per-experiment seeds spawned from one ``SeedSequence``.
+
+    Seeds depend only on the base seed and the experiment's *position*,
+    never on which worker process picks the job up, so a parallel run is
+    bit-reproducible regardless of worker count.
+    """
+    children = np.random.SeedSequence(base_seed).spawn(num_experiments)
+    return [int(child.generate_state(1, dtype=np.uint32)[0])
+            for child in children]
+
+
+def _timed_run(experiment_id: str, fast: bool, options: dict) -> ExperimentRun:
+    """Worker entry point (module-level so it pickles into a process pool)."""
+    started = time.perf_counter()
+    result = run_experiment(experiment_id, fast=fast, **options)
+    return ExperimentRun(experiment_id=experiment_id, result=result,
+                         elapsed_s=time.perf_counter() - started,
+                         options=dict(options))
+
+
+def run_experiments(experiment_ids: Sequence[str], *, fast: bool = False,
+                    workers: int = 1, base_seed: int | None = None,
+                    record_dir: str | None = None,
+                    **options) -> list[ExperimentRun]:
+    """Run several experiments, optionally fanned out over processes.
+
+    Args:
+        experiment_ids: registry ids to run, all validated up front.
+        fast: apply each experiment's quick-run presets (as in
+            :func:`run_experiment`; explicit ``options`` still win).
+        workers: number of worker processes; ``1`` runs in-process.
+        base_seed: when given, spawn a per-experiment ``seed`` option via
+            :func:`experiment_seeds` (an explicit ``seed`` in ``options``
+            takes precedence, matching the fast-preset precedence rule).
+        record_dir: when given, write ``<id>.json`` timing/result records
+            into this directory (created if missing).
+        **options: keyword overrides forwarded to every experiment.
+
+    Returns:
+        One :class:`ExperimentRun` per id, in input order.
+    """
+    experiment_ids = list(experiment_ids)
+    unknown = [eid for eid in experiment_ids if eid not in EXPERIMENTS]
+    if unknown:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ExperimentError(
+            f"unknown experiment(s) {', '.join(map(repr, unknown))}; "
+            f"known: {known}"
+        )
+    if workers < 1:
+        raise ExperimentError(f"workers must be >= 1, got {workers}")
+
+    per_run_options: list[dict] = []
+    seeds = (experiment_seeds(len(experiment_ids), base_seed)
+             if base_seed is not None else None)
+    for index in range(len(experiment_ids)):
+        run_options = dict(options)
+        if seeds is not None:
+            run_options.setdefault("seed", seeds[index])
+        per_run_options.append(run_options)
+
+    if workers == 1:
+        runs = [_timed_run(eid, fast, opts)
+                for eid, opts in zip(experiment_ids, per_run_options)]
+    else:
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(workers, len(experiment_ids) or 1)) as pool:
+            futures = [pool.submit(_timed_run, eid, fast, opts)
+                       for eid, opts in zip(experiment_ids, per_run_options)]
+            runs = [future.result() for future in futures]
+
+    if record_dir is not None:
+        os.makedirs(record_dir, exist_ok=True)
+        for run in runs:
+            path = os.path.join(record_dir, f"{run.experiment_id}.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(run.record(), handle, indent=2, sort_keys=True)
+    return runs

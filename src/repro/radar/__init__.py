@@ -10,7 +10,20 @@ and the trajectory extraction stage with Kalman tracking (`tracker`).
 from repro.radar.antenna import UniformLinearArray
 from repro.radar.channel import ChannelModel
 from repro.radar.config import RadarConfig
-from repro.radar.frontend import PathComponent, synthesize_frame
+from repro.radar.frontend import (
+    SYNTH_STATS,
+    PathComponent,
+    SynthesisStats,
+    synthesis_backend,
+    synthesize_frame,
+    synthesize_frame_naive,
+)
+from repro.radar.batch import (
+    PackedComponents,
+    pack_components,
+    synthesize_frame_vectorized,
+    synthesize_frames,
+)
 from repro.radar.processing import (
     RangeAngleProfile,
     background_subtract,
@@ -28,7 +41,10 @@ __all__ = [
     "FmcwRadar",
     "HumanTarget",
     "KalmanTracker2D",
+    "PackedComponents",
     "PathComponent",
+    "SYNTH_STATS",
+    "SynthesisStats",
     "PulsedRadar",
     "PulsedRadarConfig",
     "PulsedSensingResult",
@@ -43,5 +59,10 @@ __all__ = [
     "compute_range_angle_map",
     "extract_tracks",
     "frame_range_profiles",
+    "pack_components",
+    "synthesis_backend",
     "synthesize_frame",
+    "synthesize_frame_naive",
+    "synthesize_frame_vectorized",
+    "synthesize_frames",
 ]

@@ -83,6 +83,19 @@ class UniformLinearArray:
         k = np.arange(self.num_antennas)
         return 2.0 * np.pi * k * self.spacing * np.cos(angle) / self.wavelength
 
+    def arrival_phase_matrix(self, angles: np.ndarray) -> np.ndarray:
+        """Per-antenna arrival phases for a *batch* of angles, ``(K, C)``.
+
+        Column ``c`` equals :meth:`arrival_phases` evaluated at
+        ``angles[c]``; computing all columns at once is what lets the
+        vectorized frontend (`repro.radar.batch`) synthesize every path
+        component of a frame in a single broadcasted expression.
+        """
+        grid = np.atleast_1d(np.asarray(angles, dtype=float))
+        k = np.arange(self.num_antennas)
+        return (2.0 * np.pi * np.outer(k, np.cos(grid))
+                * self.spacing / self.wavelength)
+
     def steering_matrix(self, angles: np.ndarray) -> np.ndarray:
         """Conjugate steering vectors for Eq. 2, shape ``(num_angles, K)``.
 

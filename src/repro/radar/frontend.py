@@ -11,19 +11,86 @@ array phase, and — crucially for RF-Protect — an optional *beat frequency
 offset* ``f_off``. Physical scatterers have ``f_off = 0``; the switched
 reflector's square-wave harmonics appear as components with ``f_off = ±n *
 f_switch`` (Sec. 5.1), which is exactly how the tag spoofs distance.
+
+Two interchangeable synthesis kernels exist: the reference per-component
+loop in this module (:func:`synthesize_frame_naive`) and the batched,
+broadcasted engine in :mod:`repro.radar.batch`. :func:`synthesize_frame`
+dispatches between them via the ``RF_PROTECT_SYNTH`` environment variable
+(``vectorized`` by default, ``naive`` as the debugging escape hatch); the
+equivalence suite in ``tests/test_frontend_equivalence.py`` pins the two
+kernels to each other.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import logging
+import os
 
 import numpy as np
 
-from repro.errors import SignalProcessingError
+from repro.errors import ConfigurationError, SignalProcessingError
 from repro.radar.antenna import UniformLinearArray
 from repro.radar.config import RadarConfig
 
-__all__ = ["PathComponent", "synthesize_frame"]
+__all__ = [
+    "PathComponent",
+    "SYNTH_STATS",
+    "SynthesisStats",
+    "synthesis_backend",
+    "synthesize_frame",
+    "synthesize_frame_naive",
+]
+
+logger = logging.getLogger(__name__)
+
+_SYNTH_ENV_VAR = "RF_PROTECT_SYNTH"
+_SYNTH_BACKENDS = ("naive", "vectorized")
+
+
+@dataclasses.dataclass
+class SynthesisStats:
+    """Process-wide counters for the synthesis kernels.
+
+    A super-Nyquist tone is silently invisible to the radar (a real ADC's
+    anti-alias filter removes it), but silently *dropping* it in simulation
+    made a whole class of bugs untestable. Both kernels log each drop at
+    debug level and accumulate counts here so tests can assert the naive
+    and vectorized paths discard exactly the same tones.
+    """
+
+    frames_synthesized: int = 0
+    components_seen: int = 0
+    dropped_tones: int = 0
+
+    def reset(self) -> None:
+        self.frames_synthesized = 0
+        self.components_seen = 0
+        self.dropped_tones = 0
+
+    def record_frame(self, num_components: int, num_dropped: int,
+                     backend: str) -> None:
+        self.frames_synthesized += 1
+        self.components_seen += num_components
+        self.dropped_tones += num_dropped
+        if num_dropped:
+            logger.debug(
+                "%s synthesis dropped %d/%d super-Nyquist tone(s)",
+                backend, num_dropped, num_components,
+            )
+
+
+SYNTH_STATS = SynthesisStats()
+
+
+def synthesis_backend() -> str:
+    """The active synthesis kernel, from ``RF_PROTECT_SYNTH``."""
+    backend = os.environ.get(_SYNTH_ENV_VAR, "vectorized").strip().lower()
+    if backend not in _SYNTH_BACKENDS:
+        raise ConfigurationError(
+            f"{_SYNTH_ENV_VAR} must be one of {_SYNTH_BACKENDS}, got {backend!r}"
+        )
+    return backend
 
 
 @dataclasses.dataclass(frozen=True)
@@ -73,10 +140,64 @@ def apparent_distance(component: PathComponent, config: RadarConfig) -> float:
                  + config.chirp.offset_for_switch_frequency(component.beat_offset_hz))
 
 
+def thermal_noise(config: RadarConfig, rng: np.random.Generator,
+                  shape: tuple[int, ...]) -> np.ndarray:
+    """Complex thermal noise with ``config.noise_std`` per-sample deviation.
+
+    Both kernels (and the batched sweep path) draw noise through this one
+    helper with identical generator calls, so a fixed-seed ``rng`` yields a
+    bit-identical noise stream regardless of which backend synthesized the
+    tones.
+    """
+    scale = config.noise_std / np.sqrt(2.0)
+    return rng.normal(0.0, scale, shape) + 1j * rng.normal(0.0, scale, shape)
+
+
+def synthesize_frame_naive(components: list[PathComponent], config: RadarConfig,
+                           array: UniformLinearArray,
+                           rng: np.random.Generator | None = None) -> np.ndarray:
+    """Reference per-component synthesis loop (the pre-vectorization kernel).
+
+    Kept as the ground truth the batched engine is tested against, and as
+    the ``RF_PROTECT_SYNTH=naive`` debugging fallback.
+    """
+    chirp = config.chirp
+    t = chirp.sample_times()
+    frame = np.zeros((config.num_antennas, chirp.num_samples), dtype=complex)
+
+    dropped = 0
+    for component in components:
+        # A true extra delay behaves exactly like extra distance for FMCW.
+        effective_distance = component.distance + float(
+            chirp.delay_to_distance(component.extra_delay_s)
+        )
+        beat_frequency = (chirp.distance_to_beat_frequency(effective_distance)
+                          + component.beat_offset_hz)
+        if abs(beat_frequency) >= chirp.sample_rate / 2.0:
+            # Tone beyond Nyquist: a real ADC's anti-alias filter removes it.
+            dropped += 1
+            continue
+        carrier_phase = (chirp.carrier_phase(effective_distance)
+                         + component.phase_offset)
+        tone = component.amplitude * np.exp(
+            1j * (2.0 * np.pi * beat_frequency * t + carrier_phase)
+        )
+        antenna_phases = array.arrival_phases(component.angle)
+        frame += np.exp(1j * antenna_phases)[:, None] * tone[None, :]
+    SYNTH_STATS.record_frame(len(components), dropped, "naive")
+
+    if rng is not None and config.noise_std > 0:
+        frame = frame + thermal_noise(config, rng, frame.shape)
+    return frame
+
+
 def synthesize_frame(components: list[PathComponent], config: RadarConfig,
                      array: UniformLinearArray,
                      rng: np.random.Generator | None = None) -> np.ndarray:
     """Synthesize one frame of beat samples for all antennas.
+
+    Dispatches to the batched engine (:mod:`repro.radar.batch`) or the
+    reference loop above according to ``RF_PROTECT_SYNTH``.
 
     Args:
         components: propagation paths visible in this chirp.
@@ -87,30 +208,8 @@ def synthesize_frame(components: list[PathComponent], config: RadarConfig,
     Returns:
         Complex array of shape ``(num_antennas, num_samples)``.
     """
-    chirp = config.chirp
-    t = chirp.sample_times()
-    frame = np.zeros((config.num_antennas, chirp.num_samples), dtype=complex)
+    if synthesis_backend() == "naive":
+        return synthesize_frame_naive(components, config, array, rng)
+    from repro.radar.batch import synthesize_frame_vectorized
 
-    for component in components:
-        # A true extra delay behaves exactly like extra distance for FMCW.
-        effective_distance = component.distance + float(
-            chirp.delay_to_distance(component.extra_delay_s)
-        )
-        beat_frequency = (chirp.distance_to_beat_frequency(effective_distance)
-                          + component.beat_offset_hz)
-        if abs(beat_frequency) >= chirp.sample_rate / 2.0:
-            # Tone beyond Nyquist: a real ADC's anti-alias filter removes it.
-            continue
-        carrier_phase = (chirp.carrier_phase(effective_distance)
-                         + component.phase_offset)
-        tone = component.amplitude * np.exp(
-            1j * (2.0 * np.pi * beat_frequency * t + carrier_phase)
-        )
-        antenna_phases = array.arrival_phases(component.angle)
-        frame += np.exp(1j * antenna_phases)[:, None] * tone[None, :]
-
-    if rng is not None and config.noise_std > 0:
-        scale = config.noise_std / np.sqrt(2.0)
-        frame = frame + (rng.normal(0.0, scale, frame.shape)
-                         + 1j * rng.normal(0.0, scale, frame.shape))
-    return frame
+    return synthesize_frame_vectorized(components, config, array, rng)

@@ -28,6 +28,7 @@ from repro import constants
 from repro.errors import ConfigurationError, TrackingError
 from repro.radar.antenna import UniformLinearArray
 from repro.radar.config import RadarConfig
+from repro.radar.batch import pack_components
 from repro.radar.frontend import PathComponent
 from repro.radar.processing import RangeAngleProfile
 from repro.radar.scene import Scene
@@ -164,25 +165,27 @@ class PulsedRadar:
         config = self.config
         delays = np.arange(config.num_samples) / config.sample_rate
         sigma = config.pulse_sigma()
-        profile = np.zeros((config.num_antennas, config.num_samples),
-                           dtype=complex)
-        for component in components:
-            distance = float(component.distance)
-            amplitude = component.amplitude
-            if component.beat_offset_hz != 0.0:
-                # kHz on/off switching cannot shift a ~ns pulse in delay; it
-                # only gates pulses, scaling the echo by the duty cycle. The
-                # echo stays at the PHYSICAL distance — the FMCW distance
-                # trick is inert against pulsed radars.
-                amplitude *= 0.5
-            tau = (2.0 * distance / constants.SPEED_OF_LIGHT
-                   + component.extra_delay_s)
-            envelope = np.exp(-0.5 * ((delays - tau) / sigma) ** 2)
-            phase = (2.0 * np.pi * config.center_frequency * tau
-                     + component.phase_offset)
-            echo = amplitude * envelope * np.exp(1j * phase)
-            antenna_phase = self.array.arrival_phases(component.angle)
-            profile += np.exp(1j * antenna_phase)[:, None] * echo[None, :]
+        if components:
+            packed = pack_components(components)
+            # kHz on/off switching cannot shift a ~ns pulse in delay; it
+            # only gates pulses, scaling the echo by the duty cycle. The
+            # echo stays at the PHYSICAL distance — the FMCW distance
+            # trick is inert against pulsed radars.
+            amplitudes = np.where(packed.beat_offsets_hz != 0.0,
+                                  packed.amplitudes * 0.5, packed.amplitudes)
+            tau = (2.0 * packed.distances / constants.SPEED_OF_LIGHT
+                   + packed.extra_delays_s)
+            envelopes = np.exp(
+                -0.5 * ((delays[None, :] - tau[:, None]) / sigma) ** 2
+            )
+            phases = (2.0 * np.pi * config.center_frequency * tau
+                      + packed.phase_offsets)
+            echoes = (amplitudes * np.exp(1j * phases))[:, None] * envelopes
+            steering = np.exp(1j * self.array.arrival_phase_matrix(packed.angles))
+            profile = np.einsum("kc,cn->kn", steering, echoes)
+        else:
+            profile = np.zeros((config.num_antennas, config.num_samples),
+                               dtype=complex)
         if rng is not None and config.noise_std > 0:
             scale = config.noise_std / np.sqrt(2.0)
             profile = profile + (rng.normal(0.0, scale, profile.shape)

@@ -17,7 +17,12 @@ import numpy as np
 from repro.errors import TrackingError
 from repro.radar.antenna import UniformLinearArray
 from repro.radar.config import RadarConfig
-from repro.radar.frontend import synthesize_frame
+from repro.radar.batch import synthesize_frames
+from repro.radar.frontend import (
+    synthesis_backend,
+    synthesize_frame,
+    thermal_noise,
+)
 from repro.radar.processing import (
     RangeAngleProfile,
     background_subtract,
@@ -96,6 +101,37 @@ class FmcwRadar:
         self.config = config if config is not None else RadarConfig()
         self.array = UniformLinearArray(self.config)
 
+    def _synthesize_sweep(self, scene: Scene, times: np.ndarray,
+                          rng: np.random.Generator) -> np.ndarray:
+        """Raw beat frames for all of ``times``, shape ``(F, K, N)``.
+
+        The scene is queried and noise is drawn frame-by-frame in time
+        order — exactly the generator call sequence of the historical
+        per-frame loop — so a fixed seed reproduces bit-for-bit under both
+        ``RF_PROTECT_SYNTH`` backends and across this batched path.
+        """
+        if synthesis_backend() == "naive":
+            return np.stack([
+                synthesize_frame(scene.path_components(float(t), self.array, rng),
+                                 self.config, self.array, rng)
+                for t in times
+            ])
+        shape = (self.config.num_antennas, self.config.chirp.num_samples)
+        add_noise = self.config.noise_std > 0
+        components_per_frame = []
+        noise = []
+        for t in times:
+            components_per_frame.append(
+                scene.path_components(float(t), self.array, rng)
+            )
+            if add_noise:
+                noise.append(thermal_noise(self.config, rng, shape))
+        frames = synthesize_frames(components_per_frame, self.config,
+                                   self.array, rng=None)
+        if add_noise:
+            frames += np.stack(noise)
+        return frames
+
     def sense(self, scene: Scene, duration: float, *,
               rng: np.random.Generator | None = None,
               start_time: float = 0.0,
@@ -130,13 +166,12 @@ class FmcwRadar:
 
         num_frames = max(int(round(duration * self.config.frame_rate)), 2)
         times = start_time + np.arange(num_frames) * self.config.frame_interval
+        frames = self._synthesize_sweep(scene, times, rng)
 
         profiles: list[RangeAngleProfile] = []
         raw_profiles: list[np.ndarray] = []
         previous = None
-        for t in times:
-            components = scene.path_components(float(t), self.array, rng)
-            frame = synthesize_frame(components, self.config, self.array, rng)
+        for t, frame in zip(times, frames):
             current = frame_range_profiles(frame, self.config)
             raw_profiles.append(current)
             subtracted = background_subtract(current, previous)

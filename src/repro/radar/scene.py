@@ -221,3 +221,17 @@ class Scene:
         for entity in self.entities:
             components.extend(entity.path_components(t, array, self.channel, rng))
         return components
+
+    def path_components_sweep(self, times: np.ndarray,
+                              array: UniformLinearArray,
+                              rng: np.random.Generator,
+                              ) -> list[list[PathComponent]]:
+        """Per-frame component lists for a whole sweep, in frame order.
+
+        The batch-friendly emission used by the vectorized radar path:
+        entities are queried frame-by-frame in time order, so the ``rng``
+        stream is identical to calling :meth:`path_components` once per
+        frame — seeds reproduce bit-for-bit across the naive and batched
+        sensing paths.
+        """
+        return [self.path_components(float(t), array, rng) for t in times]
