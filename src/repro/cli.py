@@ -7,6 +7,7 @@ Usage::
     rfprotect run fig11 --fast     # quick (seconds-scale) run
     rfprotect run all --fast       # every experiment, quick settings
     rfprotect run all --fast --workers 4   # fan out over 4 processes
+    rfprotect lint src tests       # rflint static-analysis suite
 """
 
 from __future__ import annotations
@@ -51,6 +52,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--record-dir", default=None,
         help="write a per-experiment timing/result JSON record here",
     )
+
+    lint_parser = subparsers.add_parser(
+        "lint", add_help=False,
+        help="run the rflint static-analysis suite (see 'rfprotect lint -h')",
+    )
+    lint_parser.add_argument("lint_args", nargs=argparse.REMAINDER)
     return parser
 
 
@@ -67,7 +74,14 @@ def _run_all(experiment_ids: list[str], *, fast: bool, seed: int | None,
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = _build_parser().parse_args(argv)
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments[:1] == ["lint"]:
+        # Forwarded verbatim (before argparse) so lint's own options like
+        # --list-rules and --format reach its parser untouched.
+        from repro.devtools.lint import main as lint_main
+
+        return lint_main(arguments[1:])
+    args = _build_parser().parse_args(arguments)
 
     if args.command == "list":
         width = max(len(eid) for eid in EXPERIMENTS)

@@ -1,0 +1,116 @@
+"""Central typed registry for ``RF_PROTECT_*`` environment variables.
+
+Every environment variable the reproduction responds to is declared here as
+an :class:`EnvVar` with a name, a default, a parser, and a docstring, and is
+read exclusively through this module. That single point of truth is what
+keeps runtime dispatch auditable: one place lists every knob, every knob
+validates its raw value the same way, and the ``rflint`` rule **RFP003**
+(:mod:`repro.devtools.rules`) rejects any ``os.environ`` /``os.getenv`` read
+of an ``RF_PROTECT_*`` name anywhere else in the tree.
+
+Typical use::
+
+    from repro.config import get_synth_backend
+
+    if get_synth_backend() == "naive":
+        ...
+
+Adding a knob means adding one ``EnvVar`` declaration plus a typed accessor
+function; nothing else in the tree should touch the environment.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from collections.abc import Callable, Mapping
+from typing import Generic, TypeVar
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ENV_REGISTRY",
+    "EnvVar",
+    "SYNTH_BACKENDS",
+    "SYNTH_BACKEND_VAR",
+    "get_synth_backend",
+]
+
+T = TypeVar("T")
+
+#: Recognized beat-signal synthesis kernels (see ``repro.radar.frontend``).
+SYNTH_BACKENDS: tuple[str, ...] = ("naive", "vectorized")
+
+
+@dataclasses.dataclass(frozen=True)
+class EnvVar(Generic[T]):
+    """One declared environment variable: name, default, parser, docs.
+
+    Attributes:
+        name: full environment-variable name (``RF_PROTECT_*``).
+        default: value used when the variable is unset.
+        parse: raw-string -> value parser; raise :class:`ConfigurationError`
+            (or ``ValueError``, which is wrapped) on invalid input.
+        description: one-line summary for docs and error messages.
+    """
+
+    name: str
+    default: T
+    parse: Callable[[str], T]
+    description: str = ""
+
+    def read(self, environ: Mapping[str, str] | None = None) -> T:
+        """The variable's parsed value from ``environ`` (default: process env)."""
+        env: Mapping[str, str] = os.environ if environ is None else environ
+        raw = env.get(self.name)
+        if raw is None:
+            return self.default
+        try:
+            return self.parse(raw)
+        except ConfigurationError:
+            raise
+        except ValueError as error:
+            raise ConfigurationError(
+                f"{self.name}={raw!r} is invalid: {error}"
+            ) from error
+
+
+#: Every environment variable the library reads, keyed by variable name.
+ENV_REGISTRY: dict[str, EnvVar[str]] = {}
+
+
+def _register(var: EnvVar[T]) -> EnvVar[T]:
+    if var.name in ENV_REGISTRY:
+        raise ConfigurationError(f"duplicate env var registration: {var.name}")
+    if not var.name.startswith("RF_PROTECT_"):
+        raise ConfigurationError(
+            f"env vars must be namespaced RF_PROTECT_*, got {var.name!r}"
+        )
+    ENV_REGISTRY[var.name] = var  # type: ignore[assignment]
+    return var
+
+
+def _parse_synth_backend(raw: str) -> str:
+    backend = raw.strip().lower()
+    if backend not in SYNTH_BACKENDS:
+        raise ConfigurationError(
+            f"{SYNTH_BACKEND_VAR.name} must be one of {SYNTH_BACKENDS}, "
+            f"got {backend!r}"
+        )
+    return backend
+
+
+SYNTH_BACKEND_VAR: EnvVar[str] = _register(
+    EnvVar(
+        name="RF_PROTECT_SYNTH",
+        default="vectorized",
+        parse=_parse_synth_backend,
+        description="beat-signal synthesis kernel: 'vectorized' (batched "
+                    "engine) or 'naive' (reference per-component loop)",
+    )
+)
+
+
+def get_synth_backend(environ: Mapping[str, str] | None = None) -> str:
+    """The active synthesis kernel name, from ``RF_PROTECT_SYNTH``."""
+    return SYNTH_BACKEND_VAR.read(environ)

@@ -1,0 +1,392 @@
+"""rflint engine: rule registry, per-path scoping, suppression, file walking.
+
+A :class:`Rule` inspects one parsed :class:`SourceFile` and yields
+:class:`Finding` objects. Rules self-register via :func:`register` and
+declare *path scopes* — fnmatch globs limiting where they apply (e.g. the
+dtype-discipline rule only runs under ``repro/radar`` and ``repro/signal``).
+Scopes and global excludes can be overridden from ``pyproject.toml``::
+
+    [tool.rflint]
+    exclude = ["tests/fixtures/*"]
+
+    [tool.rflint.per-rule.RFP004]
+    include = ["*repro/radar/*", "*repro/signal/*"]
+
+Suppression is per-line: a trailing ``# rflint: disable=RFP001`` (comma-
+separated ids, or ``all``) silences matching findings on that line.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import fnmatch
+import io
+import re
+import tokenize
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from pathlib import Path
+from typing import Any, ClassVar
+
+__all__ = [
+    "DEFAULT_EXCLUDES",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "PARSE_ERROR_ID",
+    "Rule",
+    "RuleScope",
+    "SourceFile",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "register",
+]
+
+#: Pseudo-rule id attached to unparseable files. Not suppressible.
+PARSE_ERROR_ID = "RFP000"
+
+#: Directory-walk excludes applied even without a pyproject override. The
+#: lint fixture corpus intentionally violates every rule, so it must never
+#: count against the tree; explicitly named files bypass these.
+DEFAULT_EXCLUDES: tuple[str, ...] = (
+    "*tests/fixtures/*",
+    "*/__pycache__/*",
+    "*/.git/*",
+    "*.egg-info/*",
+    "*/build/*",
+)
+
+_RULE_ID_RE = re.compile(r"^RFP\d{3}$")
+_SUPPRESS_RE = re.compile(r"#\s*rflint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+        }
+
+    def format_human(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+def _collect_suppressions(text: str) -> dict[int, frozenset[str]]:
+    """Map line number -> rule ids disabled on that line.
+
+    Comments are found with :mod:`tokenize` so a ``# rflint:`` sequence
+    inside a string literal never counts; on tokenization failure (the file
+    will be reported as a parse error anyway) no suppressions apply.
+    """
+    suppressions: dict[int, frozenset[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return suppressions
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(token.string)
+        if match is None:
+            continue
+        ids = frozenset(
+            part.strip().upper()
+            for part in match.group(1).split(",")
+            if part.strip()
+        )
+        if ids:
+            line = token.start[0]
+            suppressions[line] = suppressions.get(line, frozenset()) | ids
+    return suppressions
+
+
+@dataclasses.dataclass
+class SourceFile:
+    """One parsed Python file presented to the rules."""
+
+    display_path: str
+    text: str
+    tree: ast.Module
+    suppressions: dict[int, frozenset[str]]
+
+    @classmethod
+    def from_source(cls, text: str, display_path: str) -> "SourceFile":
+        """Parse ``text``; raises ``SyntaxError`` on unparseable input."""
+        tree = ast.parse(text, filename=display_path)
+        return cls(
+            display_path=display_path,
+            text=text,
+            tree=tree,
+            suppressions=_collect_suppressions(text),
+        )
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        disabled = self.suppressions.get(finding.line)
+        if disabled is None:
+            return False
+        return finding.rule_id in disabled or "ALL" in disabled
+
+
+class Rule:
+    """Base class for rflint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`;
+    decorating with :func:`register` adds them to the global registry.
+    """
+
+    rule_id: ClassVar[str]
+    title: ClassVar[str]
+    #: Default path scope (fnmatch globs over posix-style paths). ``*``
+    #: matches across ``/``, so ``*repro/radar/*`` hits any depth.
+    include: ClassVar[tuple[str, ...]] = ("*",)
+    exclude: ClassVar[tuple[str, ...]] = ()
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, source: SourceFile, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=source.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding ``rule_cls`` to the global rule registry."""
+    rule_id = getattr(rule_cls, "rule_id", None)
+    if rule_id is None or not _RULE_ID_RE.match(rule_id):
+        raise ValueError(f"rule id must match RFP###, got {rule_id!r}")
+    if rule_id == PARSE_ERROR_ID:
+        raise ValueError(f"{PARSE_ERROR_ID} is reserved for parse errors")
+    if rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_id}")
+    _REGISTRY[rule_id] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> dict[str, type[Rule]]:
+    """The registered rules, keyed and sorted by rule id."""
+    _ensure_builtin_rules()
+    return dict(sorted(_REGISTRY.items()))
+
+
+def _ensure_builtin_rules() -> None:
+    # Importing the rules module triggers its @register decorators.
+    from repro.devtools import rules as _rules  # noqa: F401
+
+
+@dataclasses.dataclass(frozen=True)
+class RuleScope:
+    """Per-rule path-scope override; ``None`` keeps the rule's default."""
+
+    include: tuple[str, ...] | None = None
+    exclude: tuple[str, ...] | None = None
+
+
+@dataclasses.dataclass(frozen=True)
+class LintConfig:
+    """Lint run configuration: excludes, rule selection, per-rule scopes."""
+
+    exclude: tuple[str, ...] = DEFAULT_EXCLUDES
+    select: tuple[str, ...] | None = None
+    scopes: Mapping[str, RuleScope] = dataclasses.field(default_factory=dict)
+
+    @classmethod
+    def from_pyproject(cls, pyproject: Path) -> "LintConfig | None":
+        """Config from ``[tool.rflint]``; ``None`` if absent or unreadable.
+
+        Needs :mod:`tomllib` (Python 3.11+); on 3.10 the built-in defaults
+        apply, which are sufficient for this repository.
+        """
+        try:
+            import tomllib
+        except ImportError:
+            return None
+        try:
+            data = tomllib.loads(pyproject.read_text(encoding="utf-8"))
+        except (OSError, tomllib.TOMLDecodeError):
+            return None
+        table = data.get("tool", {}).get("rflint")
+        if not isinstance(table, dict):
+            return None
+        exclude = tuple(table.get("exclude", ())) + DEFAULT_EXCLUDES
+        select_raw = table.get("select")
+        select = tuple(select_raw) if select_raw else None
+        scopes: dict[str, RuleScope] = {}
+        for rule_id, scope in table.get("per-rule", {}).items():
+            if not isinstance(scope, dict):
+                continue
+            scopes[rule_id] = RuleScope(
+                include=tuple(scope["include"]) if "include" in scope else None,
+                exclude=tuple(scope["exclude"]) if "exclude" in scope else None,
+            )
+        return cls(exclude=exclude, select=select, scopes=scopes)
+
+    @classmethod
+    def discover(cls, start: Path) -> "LintConfig":
+        """Walk up from ``start`` for a pyproject with ``[tool.rflint]``."""
+        for directory in [start, *start.resolve().parents]:
+            pyproject = directory / "pyproject.toml"
+            if pyproject.is_file():
+                config = cls.from_pyproject(pyproject)
+                if config is not None:
+                    return config
+        return cls()
+
+
+@dataclasses.dataclass(frozen=True)
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: tuple[Finding, ...]
+    files_checked: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "files_checked": self.files_checked,
+            "findings": [finding.to_dict() for finding in self.findings],
+            "ok": self.ok,
+        }
+
+
+def _matches(path_posix: str, patterns: Iterable[str]) -> bool:
+    return any(
+        fnmatch.fnmatch(path_posix, pattern)
+        or fnmatch.fnmatch(path_posix, pattern.rstrip("/") + "/*")
+        for pattern in patterns
+    )
+
+
+def _rule_applies(
+    rule_cls: type[Rule], config: LintConfig, display_path: str
+) -> bool:
+    scope = config.scopes.get(rule_cls.rule_id, RuleScope())
+    include = scope.include if scope.include is not None else rule_cls.include
+    exclude = scope.exclude if scope.exclude is not None else rule_cls.exclude
+    if not _matches(display_path, include):
+        return False
+    return not _matches(display_path, exclude)
+
+
+def _selected_rules(config: LintConfig) -> list[type[Rule]]:
+    rules = all_rules()
+    if config.select is None:
+        return list(rules.values())
+    unknown = sorted(set(config.select) - set(rules))
+    if unknown:
+        raise ValueError(f"unknown rule id(s): {', '.join(unknown)}")
+    return [rules[rule_id] for rule_id in sorted(set(config.select))]
+
+
+def _display_path(path: Path) -> str:
+    # Normalized posix form so glob scopes behave identically everywhere.
+    return Path(str(path)).as_posix().removeprefix("./")
+
+
+def iter_source_paths(
+    paths: Sequence[Path | str], config: LintConfig
+) -> list[Path]:
+    """Expand files/directories into a sorted, deduplicated ``.py`` list.
+
+    Global excludes apply only during directory traversal: a file named
+    explicitly on the command line is always linted (that is how the
+    fixture corpus exercises itself).
+    """
+    seen: set[str] = set()
+    collected: list[Path] = []
+
+    def add(path: Path) -> None:
+        key = _display_path(path)
+        if key not in seen:
+            seen.add(key)
+            collected.append(path)
+
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not _matches(_display_path(candidate), config.exclude):
+                    add(candidate)
+        elif path.is_file():
+            add(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return collected
+
+
+def lint_source(
+    text: str,
+    display_path: str,
+    config: LintConfig | None = None,
+) -> list[Finding]:
+    """Lint one in-memory source blob under ``display_path``'s scopes."""
+    config = config if config is not None else LintConfig()
+    try:
+        source = SourceFile.from_source(text, display_path)
+    except SyntaxError as error:
+        return [
+            Finding(
+                path=display_path,
+                line=error.lineno or 1,
+                col=(error.offset or 0) + 1,
+                rule_id=PARSE_ERROR_ID,
+                message=f"syntax error: {error.msg}",
+            )
+        ]
+    findings: list[Finding] = []
+    for rule_cls in _selected_rules(config):
+        if not _rule_applies(rule_cls, config, display_path):
+            continue
+        for finding in rule_cls().check(source):
+            if not source.is_suppressed(finding):
+                findings.append(finding)
+    return sorted(findings)
+
+
+def lint_paths(
+    paths: Sequence[Path | str],
+    config: LintConfig | None = None,
+) -> LintResult:
+    """Lint files and directories; the core entry point behind the CLI."""
+    config = config if config is not None else LintConfig()
+    findings: list[Finding] = []
+    files = iter_source_paths(paths, config)
+    for path in files:
+        try:
+            text = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as error:
+            findings.append(
+                Finding(
+                    path=_display_path(path),
+                    line=1,
+                    col=1,
+                    rule_id=PARSE_ERROR_ID,
+                    message=f"unreadable file: {error}",
+                )
+            )
+            continue
+        findings.extend(lint_source(text, _display_path(path), config))
+    return LintResult(findings=tuple(sorted(findings)), files_checked=len(files))

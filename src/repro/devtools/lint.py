@@ -1,0 +1,117 @@
+"""``rfprotect lint`` / ``python -m repro.devtools.lint`` entry point.
+
+Usage::
+
+    rfprotect lint                       # lint src and tests
+    rfprotect lint src tests             # explicit paths
+    rfprotect lint --format json src     # machine-readable output
+    rfprotect lint --select RFP001,RFP004 src
+    rfprotect lint --list-rules
+
+Exit codes: 0 clean, 1 findings, 2 usage or configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.devtools.engine import LintConfig, all_rules, lint_paths
+
+__all__ = ["main"]
+
+_DEFAULT_PATHS = ("src", "tests")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rfprotect lint",
+        description="rflint: AST-based invariant checks for the RF-Protect "
+                    "reproduction",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=list(_DEFAULT_PATHS),
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--config", default=None, metavar="PYPROJECT",
+        help="explicit pyproject.toml to read [tool.rflint] from "
+             "(default: discovered from the current directory)",
+    )
+    parser.add_argument(
+        "--no-config", action="store_true",
+        help="ignore [tool.rflint] configuration; use built-in defaults",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list the registered rules and exit",
+    )
+    return parser
+
+
+def _resolve_config(args: argparse.Namespace) -> LintConfig:
+    if args.no_config:
+        config = LintConfig()
+    elif args.config is not None:
+        loaded = LintConfig.from_pyproject(Path(args.config))
+        if loaded is None:
+            raise ValueError(
+                f"no [tool.rflint] table readable from {args.config}"
+            )
+        config = loaded
+    else:
+        config = LintConfig.discover(Path.cwd())
+    if args.select:
+        select = tuple(
+            part.strip().upper() for part in args.select.split(",")
+            if part.strip()
+        )
+        config = LintConfig(
+            exclude=config.exclude, select=select, scopes=config.scopes
+        )
+    return config
+
+
+def _print_rules() -> None:
+    for rule_id, rule_cls in all_rules().items():
+        summary = (rule_cls.__doc__ or rule_cls.title).strip().splitlines()[0]
+        print(f"{rule_id}  {summary}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        _print_rules()
+        return 0
+    try:
+        config = _resolve_config(args)
+        result = lint_paths(args.paths, config)
+    except (FileNotFoundError, ValueError) as error:
+        print(f"rflint: error: {error}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        for finding in result.findings:
+            print(finding.format_human())
+        noun = "file" if result.files_checked == 1 else "files"
+        status = "clean" if result.ok else f"{len(result.findings)} finding(s)"
+        print(f"rflint: {result.files_checked} {noun} checked, {status}")
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,12 +10,17 @@ retraining per experiment.
 from __future__ import annotations
 
 import dataclasses
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import ExperimentError
 from repro.gan import GanConfig, GanTrainer, TrajectorySampler
+from repro.reflector import ReflectorController, SpoofSchedule
 from repro.trajectories import HumanMotionSimulator, TrajectoryDataset
+
+if TYPE_CHECKING:
+    from repro.experiments.environments import Environment
 
 __all__ = ["GanArtifacts", "motion_dataset", "place_ghost_in_room", "trained_gan"]
 
@@ -33,9 +38,11 @@ _DATASET_CACHE: dict[tuple[int, int], TrajectoryDataset] = {}
 _GAN_CACHE: dict[tuple[str, int], "GanArtifacts"] = {}
 
 
-def place_ghost_in_room(environment, controller, sampler,
+def place_ghost_in_room(environment: Environment,
+                        controller: ReflectorController,
+                        sampler: TrajectorySampler,
                         rng: np.random.Generator, *,
-                        max_attempts: int = 10):
+                        max_attempts: int = 10) -> SpoofSchedule:
     """Sample a ghost shape and place it fully inside the room.
 
     Redraws when the placed trajectory spills outside the footprint (large

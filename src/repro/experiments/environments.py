@@ -10,6 +10,7 @@ it on the same vulnerable wall, per Sec. 9.3.
 from __future__ import annotations
 
 import dataclasses
+from typing import Any
 
 import numpy as np
 
@@ -51,12 +52,12 @@ class Environment:
         """The eavesdropper (or legitimate) radar for this deployment."""
         return FmcwRadar(self.radar_config)
 
-    def make_tag(self, **tag_kwargs) -> RfProtectTag:
+    def make_tag(self, **tag_kwargs: Any) -> RfProtectTag:
         """A fresh RF-Protect tag on this environment's panel."""
         return RfProtectTag(self.panel, **tag_kwargs)
 
     def make_controller(self, *, frame_coherent: bool = False,
-                        **controller_kwargs) -> ReflectorController:
+                        **controller_kwargs: Any) -> ReflectorController:
         """Controller calibrated for this environment's chirp.
 
         The controller uses the panel's *nominal* radar assumption, not the

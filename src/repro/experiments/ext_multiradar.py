@@ -30,6 +30,7 @@ from repro.eavesdropper.multi_radar import (
 from repro.experiments.artifacts import place_ghost_in_room, trained_gan
 from repro.experiments.environments import Environment, office_environment
 from repro.radar import ChannelModel, FmcwRadar, RadarConfig, Scene
+from repro.radar.radar import SensingResult
 from repro.types import Trajectory
 
 __all__ = ["ExtMultiRadarResult", "run"]
@@ -102,7 +103,7 @@ def run(*, environment: Environment | None = None, duration: float = 10.0,
     tag = environment.make_tag()
     tag.deploy(schedule)
 
-    def sense(radar: FmcwRadar):
+    def sense(radar: FmcwRadar) -> SensingResult:
         # A clean channel (no multipath/clutter) isolates the geometric
         # inconsistency this attack exploits from environment noise; the
         # effect itself — per-radar ghost construction — is unchanged by

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import dataclasses
+import inspect
 import json
 import os
 import time
@@ -51,8 +52,8 @@ class ExperimentSpec:
 
     experiment_id: str
     description: str
-    run: Callable
-    fast_options: dict
+    run: Callable[..., Any]
+    fast_options: dict[str, Any]
     """Keyword overrides that make the experiment finish in seconds."""
 
 
@@ -119,10 +120,24 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
 }
 
 
-def run_experiment(experiment_id: str, *, fast: bool = False, **options):
+def _accepts_seed(run: Callable[..., Any]) -> bool:
+    parameters = inspect.signature(run).parameters.values()
+    return any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        or parameter.name == "seed"
+        for parameter in parameters
+    )
+
+
+def run_experiment(experiment_id: str, *, fast: bool = False,
+                   **options: Any) -> Any:
     """Run one experiment by id; ``fast=True`` applies quick-run options.
 
-    Explicit keyword ``options`` override the fast presets.
+    Explicit keyword ``options`` override the fast presets. A ``seed``
+    option is broadcast-friendly: experiments whose run function takes no
+    ``seed`` (fig7's mutual-information sweep is fully deterministic)
+    simply ignore it, so ``rfprotect run all --seed N`` works across the
+    whole registry.
     """
     spec = EXPERIMENTS.get(experiment_id)
     if spec is None:
@@ -132,6 +147,8 @@ def run_experiment(experiment_id: str, *, fast: bool = False, **options):
         )
     kwargs = dict(spec.fast_options) if fast else {}
     kwargs.update(options)
+    if "seed" in kwargs and not _accepts_seed(spec.run):
+        del kwargs["seed"]
     return spec.run(**kwargs)
 
 
@@ -150,9 +167,9 @@ class ExperimentRun:
     experiment_id: str
     result: Any
     elapsed_s: float
-    options: dict
+    options: dict[str, Any]
 
-    def record(self) -> dict:
+    def record(self) -> dict[str, Any]:
         """A small JSON-serializable summary of this run."""
         return {
             "experiment_id": self.experiment_id,
@@ -181,7 +198,8 @@ def experiment_seeds(num_experiments: int, base_seed: int) -> list[int]:
             for child in children]
 
 
-def _timed_run(experiment_id: str, fast: bool, options: dict) -> ExperimentRun:
+def _timed_run(experiment_id: str, fast: bool,
+               options: dict[str, Any]) -> ExperimentRun:
     """Worker entry point (module-level so it pickles into a process pool)."""
     started = time.perf_counter()
     result = run_experiment(experiment_id, fast=fast, **options)
@@ -193,7 +211,7 @@ def _timed_run(experiment_id: str, fast: bool, options: dict) -> ExperimentRun:
 def run_experiments(experiment_ids: Sequence[str], *, fast: bool = False,
                     workers: int = 1, base_seed: int | None = None,
                     record_dir: str | None = None,
-                    **options) -> list[ExperimentRun]:
+                    **options: Any) -> list[ExperimentRun]:
     """Run several experiments, optionally fanned out over processes.
 
     Args:
@@ -222,7 +240,7 @@ def run_experiments(experiment_ids: Sequence[str], *, fast: bool = False,
     if workers < 1:
         raise ExperimentError(f"workers must be >= 1, got {workers}")
 
-    per_run_options: list[dict] = []
+    per_run_options: list[dict[str, Any]] = []
     seeds = (experiment_seeds(len(experiment_ids), base_seed)
              if base_seed is not None else None)
     for index in range(len(experiment_ids)):

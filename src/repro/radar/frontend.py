@@ -25,11 +25,11 @@ from __future__ import annotations
 
 import dataclasses
 import logging
-import os
 
 import numpy as np
 
-from repro.errors import ConfigurationError, SignalProcessingError
+from repro.config import get_synth_backend
+from repro.errors import SignalProcessingError
 from repro.radar.antenna import UniformLinearArray
 from repro.radar.config import RadarConfig
 
@@ -43,9 +43,6 @@ __all__ = [
 ]
 
 logger = logging.getLogger(__name__)
-
-_SYNTH_ENV_VAR = "RF_PROTECT_SYNTH"
-_SYNTH_BACKENDS = ("naive", "vectorized")
 
 
 @dataclasses.dataclass
@@ -84,13 +81,12 @@ SYNTH_STATS = SynthesisStats()
 
 
 def synthesis_backend() -> str:
-    """The active synthesis kernel, from ``RF_PROTECT_SYNTH``."""
-    backend = os.environ.get(_SYNTH_ENV_VAR, "vectorized").strip().lower()
-    if backend not in _SYNTH_BACKENDS:
-        raise ConfigurationError(
-            f"{_SYNTH_ENV_VAR} must be one of {_SYNTH_BACKENDS}, got {backend!r}"
-        )
-    return backend
+    """The active synthesis kernel, from ``RF_PROTECT_SYNTH``.
+
+    Thin alias for :func:`repro.config.get_synth_backend`, the registry
+    accessor that owns the parse/validate logic (see RFP003).
+    """
+    return get_synth_backend()
 
 
 @dataclasses.dataclass(frozen=True)

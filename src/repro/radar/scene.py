@@ -10,7 +10,7 @@ construction, which is the point of the paper.
 from __future__ import annotations
 
 import dataclasses
-from typing import Protocol, runtime_checkable
+from typing import Any, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -193,7 +193,7 @@ class Scene:
             )
         self.entities.append(entity)
 
-    def add_human(self, trajectory: Trajectory, **kwargs) -> HumanTarget:
+    def add_human(self, trajectory: Trajectory, **kwargs: Any) -> HumanTarget:
         """Add a human; rejects trajectories that leave the room."""
         if not self.room.contains_all(trajectory.points):
             raise SceneError("human trajectory leaves the room footprint")

@@ -76,7 +76,7 @@ class KalmanTracker2D:
         z = np.asarray(measurement, dtype=float)
         if z.shape != (2,):
             raise ConfigurationError("measurement must be (x, y)")
-        observation = np.zeros((2, 4))
+        observation = np.zeros((2, 4), dtype=float)
         observation[0, 0] = 1.0
         observation[1, 1] = 1.0
         innovation = z - observation @ self.state

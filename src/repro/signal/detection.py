@@ -46,7 +46,8 @@ def cfar_threshold(power: np.ndarray, *, guard_cells: int = 2,
 
     # Sliding sums via a cumulative sum, vectorized over leading axes.
     padded = np.concatenate(
-        [np.zeros(spectrum.shape[:-1] + (1,)), np.cumsum(spectrum, axis=-1)], axis=-1
+        [np.zeros(spectrum.shape[:-1] + (1,), dtype=float),
+         np.cumsum(spectrum, axis=-1)], axis=-1
     )
 
     def window_sum(start: np.ndarray, stop: np.ndarray) -> np.ndarray:

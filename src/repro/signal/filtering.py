@@ -37,7 +37,8 @@ def moving_average(values: np.ndarray, window: int) -> np.ndarray:
     half = window // 2
     n = arr.shape[0]
     flat = arr.reshape(n, -1)
-    cumsum = np.vstack([np.zeros((1, flat.shape[1])), np.cumsum(flat, axis=0)])
+    cumsum = np.vstack([np.zeros((1, flat.shape[1]), dtype=float),
+                        np.cumsum(flat, axis=0)])
     idx = np.arange(n)
     lo = np.clip(idx - half, 0, n)
     hi = np.clip(idx + half + 1, 0, n)

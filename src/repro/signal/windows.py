@@ -21,14 +21,14 @@ def _check_length(length: int) -> None:
 def rectangular(length: int) -> np.ndarray:
     """All-ones window (no taper)."""
     _check_length(length)
-    return np.ones(length)
+    return np.ones(length, dtype=float)
 
 
 def hann(length: int) -> np.ndarray:
     """Hann window: strong sidelobe suppression, ~2-bin mainlobe widening."""
     _check_length(length)
     if length == 1:
-        return np.ones(1)
+        return np.ones(1, dtype=float)
     n = np.arange(length)
     return 0.5 - 0.5 * np.cos(2.0 * np.pi * n / (length - 1))
 
@@ -37,7 +37,7 @@ def hamming(length: int) -> np.ndarray:
     """Hamming window: non-zero endpoints, lower first sidelobe than Hann."""
     _check_length(length)
     if length == 1:
-        return np.ones(1)
+        return np.ones(1, dtype=float)
     n = np.arange(length)
     return 0.54 - 0.46 * np.cos(2.0 * np.pi * n / (length - 1))
 
@@ -46,7 +46,7 @@ def blackman(length: int) -> np.ndarray:
     """Blackman window: widest mainlobe, deepest sidelobes of the set."""
     _check_length(length)
     if length == 1:
-        return np.ones(1)
+        return np.ones(1, dtype=float)
     n = np.arange(length)
     x = 2.0 * np.pi * n / (length - 1)
     return 0.42 - 0.5 * np.cos(x) + 0.08 * np.cos(2.0 * x)

@@ -1,0 +1,12 @@
+"""Bad fixture for RFP001: hidden global RNG state."""
+
+import random
+
+import numpy as np
+from random import shuffle  # noqa: F401  (banned import form)
+
+np.random.seed(1234)
+
+
+def draw() -> float:
+    return random.random() + np.random.rand()

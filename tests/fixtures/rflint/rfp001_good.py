@@ -1,0 +1,11 @@
+"""Good fixture for RFP001: RNGs are explicit, seeded Generators."""
+
+import numpy as np
+
+
+def make_rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def draw(rng: np.random.Generator) -> float:
+    return float(rng.random())

@@ -1,0 +1,15 @@
+"""Bad fixture for RFP002: wall-clock identity and set-order dependence."""
+
+import time
+import uuid
+
+
+def make_run_record() -> dict:
+    return {"run_id": str(uuid.uuid4()), "started": time.time()}
+
+
+def collect(values: dict) -> list:
+    out = []
+    for key in {"fig7", "fig9", "table1"}:
+        out.append(values.get(key))
+    return out

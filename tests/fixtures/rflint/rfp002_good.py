@@ -1,0 +1,11 @@
+"""Good fixture for RFP002: monotonic timing, order-stable iteration."""
+
+import time
+
+
+def elapsed_since(started: float) -> float:
+    return time.perf_counter() - started
+
+
+def collect(values: dict, keys: set) -> list:
+    return [values.get(key) for key in sorted(keys)]

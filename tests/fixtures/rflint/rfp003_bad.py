@@ -1,0 +1,11 @@
+"""Bad fixture for RFP003: RF_PROTECT_* read outside repro.config."""
+
+import os
+from os import environ, getenv
+
+
+def backend() -> str:
+    direct = os.environ.get("RF_PROTECT_SYNTH", "vectorized")
+    via_getenv = getenv("RF_PROTECT_SYNTH")
+    subscripted = environ["RF_PROTECT_SYNTH"]
+    return via_getenv or subscripted or direct

@@ -1,0 +1,14 @@
+"""Good fixture for RFP003: dispatch goes through the typed registry."""
+
+import os
+
+from repro.config import get_synth_backend
+
+
+def backend() -> str:
+    return get_synth_backend()
+
+
+def unrelated_env() -> str:
+    # Non-RF_PROTECT names are out of scope for the registry rule.
+    return os.environ.get("HOME", "/root")

@@ -1,0 +1,14 @@
+"""Bad fixture for RFP004: implicit dtypes and complex->magnitude mixups."""
+
+import numpy as np
+
+
+def make_profile(num_antennas: int, num_samples: int) -> np.ndarray:
+    return np.zeros((num_antennas, num_samples))
+
+
+def magnitude_into_complex(samples: np.ndarray) -> np.ndarray:
+    buffer = np.zeros(samples.shape, dtype=complex)
+    buffer[0] = np.abs(samples[0])
+    buffer[1] = samples[1].real
+    return buffer

@@ -1,0 +1,13 @@
+"""Good fixture for RFP004: every constructor pins its dtype."""
+
+import numpy as np
+
+
+def make_profile(num_antennas: int, num_samples: int) -> np.ndarray:
+    return np.zeros((num_antennas, num_samples), dtype=complex)
+
+
+def magnitudes(samples: np.ndarray) -> np.ndarray:
+    power = np.empty(samples.shape, dtype=float)
+    power[:] = np.abs(samples)
+    return power

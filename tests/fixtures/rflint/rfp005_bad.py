@@ -1,0 +1,10 @@
+"""Bad fixture for RFP005: mutable defaults shared across calls."""
+
+
+def append_record(record: dict, log: list = []) -> list:
+    log.append(record)
+    return log
+
+
+def merge(overrides: dict = {}, *, tags: set = set()) -> dict:
+    return {**overrides, "tags": tags}

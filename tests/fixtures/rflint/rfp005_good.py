@@ -1,0 +1,11 @@
+"""Good fixture for RFP005: None sentinel, construct per call."""
+
+
+def append_record(record: dict, log: list | None = None) -> list:
+    entries = [] if log is None else log
+    entries.append(record)
+    return entries
+
+
+def merge(overrides: dict | None = None) -> dict:
+    return dict(overrides or {})

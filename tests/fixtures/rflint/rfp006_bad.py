@@ -1,0 +1,16 @@
+"""Bad fixture for RFP006: errors vanish without a trace."""
+
+
+def load(path: str) -> str:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return handle.read()
+    except:
+        return ""
+
+
+def probe(path: str) -> None:
+    try:
+        open(path, encoding="utf-8").close()
+    except OSError:
+        pass

@@ -1,0 +1,14 @@
+"""Good fixture for RFP006: failures are logged or propagated."""
+
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+def load(path: str) -> str:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return handle.read()
+    except OSError as error:
+        logger.warning("could not read %s: %s", path, error)
+        return ""

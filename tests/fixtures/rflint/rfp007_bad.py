@@ -1,0 +1,16 @@
+"""Bad fixture for RFP007: unseeded RNGs and leaky module state."""
+
+import numpy as np
+
+from repro.radar import frontend
+from repro.radar.frontend import SYNTH_STATS
+
+
+def test_noise_changes_every_run() -> None:
+    rng = np.random.default_rng()
+    assert rng.random() >= 0.0
+
+
+def test_mutates_module_state() -> None:
+    frontend.logger = None
+    SYNTH_STATS.frames_synthesized = 0

@@ -1,0 +1,15 @@
+"""Good fixture for RFP007: seeded RNGs, state isolated via monkeypatch."""
+
+import numpy as np
+
+from repro.radar.frontend import SYNTH_STATS
+
+
+def test_seeded_rng() -> None:
+    rng = np.random.default_rng(1234)
+    assert rng.random() >= 0.0
+
+
+def test_with_monkeypatch(monkeypatch) -> None:
+    monkeypatch.setattr(SYNTH_STATS, "frames_synthesized", 0)
+    assert SYNTH_STATS.frames_synthesized == 0

@@ -1,0 +1,9 @@
+"""Deliberate violations silenced with inline suppression comments."""
+
+import numpy as np
+
+np.random.seed(0)  # rflint: disable=RFP001
+
+
+def legacy_probe() -> float:
+    return float(np.random.rand())  # rflint: disable=all

@@ -1,0 +1,234 @@
+"""Tests for the rflint static-analysis suite (``repro.devtools``).
+
+Each RFP rule is pinned three ways: it fires on its bad fixture, stays
+quiet on its good fixture, and an inline ``# rflint: disable=`` comment
+silences it. On top of that, the repo itself must lint clean — the same
+gate CI runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.config import ENV_REGISTRY, get_synth_backend
+from repro.devtools.engine import (
+    PARSE_ERROR_ID,
+    LintConfig,
+    all_rules,
+    lint_paths,
+    lint_source,
+)
+from repro.devtools.lint import main as lint_main
+from repro.errors import ConfigurationError
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "rflint"
+
+#: Display path each rule's fixtures are linted under, chosen to satisfy
+#: the rule's path scope (RFP004 only runs under radar/signal, RFP007
+#: only under tests).
+RULE_DISPLAY_PATHS = {
+    "RFP001": "src/repro/module.py",
+    "RFP002": "src/repro/module.py",
+    "RFP003": "src/repro/module.py",
+    "RFP004": "src/repro/radar/module.py",
+    "RFP005": "src/repro/module.py",
+    "RFP006": "src/repro/module.py",
+    "RFP007": "tests/test_module.py",
+}
+
+RULE_IDS = sorted(RULE_DISPLAY_PATHS)
+
+
+def lint_fixture(name: str, display_path: str):
+    text = (FIXTURES / name).read_text(encoding="utf-8")
+    return lint_source(text, display_path)
+
+
+class TestRegistry:
+    def test_all_seven_rules_registered(self):
+        assert sorted(all_rules()) == RULE_IDS
+
+    def test_rules_have_docs_and_titles(self):
+        for rule_cls in all_rules().values():
+            assert rule_cls.title
+            assert rule_cls.__doc__
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+class TestEachRule:
+    def test_fires_on_bad_fixture(self, rule_id):
+        findings = lint_fixture(
+            f"{rule_id.lower()}_bad.py", RULE_DISPLAY_PATHS[rule_id]
+        )
+        assert findings, f"{rule_id} did not fire on its bad fixture"
+        assert {f.rule_id for f in findings} == {rule_id}
+
+    def test_quiet_on_good_fixture(self, rule_id):
+        findings = lint_fixture(
+            f"{rule_id.lower()}_good.py", RULE_DISPLAY_PATHS[rule_id]
+        )
+        assert findings == []
+
+    def test_inline_suppression_silences_rule(self, rule_id):
+        display_path = RULE_DISPLAY_PATHS[rule_id]
+        text = (FIXTURES / f"{rule_id.lower()}_bad.py").read_text(
+            encoding="utf-8"
+        )
+        findings = lint_source(text, display_path)
+        lines = text.splitlines()
+        for line_number in sorted({f.line for f in findings}, reverse=True):
+            lines[line_number - 1] += f"  # rflint: disable={rule_id}"
+        suppressed = lint_source("\n".join(lines) + "\n", display_path)
+        assert [f for f in suppressed if f.rule_id == rule_id] == []
+
+
+class TestSuppression:
+    def test_static_suppressed_fixture_is_clean(self):
+        assert lint_fixture("rfp_suppressed.py", "src/repro/module.py") == []
+
+    def test_disable_all_keyword(self):
+        text = "import numpy as np\nnp.random.seed(0)  # rflint: disable=all\n"
+        assert lint_source(text, "src/repro/module.py") == []
+
+    def test_suppression_inside_string_is_inert(self):
+        text = (
+            "import numpy as np\n"
+            'MESSAGE = "# rflint: disable=RFP001"\n'
+            "np.random.seed(0)\n"
+        )
+        findings = lint_source(text, "src/repro/module.py")
+        assert [f.rule_id for f in findings] == ["RFP001"]
+
+
+class TestScoping:
+    def test_rfp004_scoped_to_radar_and_signal(self):
+        text = (FIXTURES / "rfp004_bad.py").read_text(encoding="utf-8")
+        assert lint_source(text, "src/repro/radar/module.py")
+        assert lint_source(text, "src/repro/signal/module.py")
+        assert lint_source(text, "src/repro/gan/module.py") == []
+
+    def test_rfp003_exempts_the_registry_module(self):
+        text = (
+            "import os\n"
+            'BACKEND = os.environ.get("RF_PROTECT_SYNTH", "vectorized")\n'
+        )
+        assert lint_source(text, "src/repro/radar/module.py")
+        assert lint_source(text, "src/repro/config.py") == []
+
+    def test_rfp007_scoped_to_tests(self):
+        text = (FIXTURES / "rfp007_bad.py").read_text(encoding="utf-8")
+        assert lint_source(text, "tests/test_module.py")
+        assert lint_source(text, "src/repro/module.py") == []
+
+    def test_fixture_corpus_excluded_from_directory_walk(self):
+        result = lint_paths([str(REPO_ROOT / "tests")], LintConfig())
+        fixture_paths = [
+            f.path for f in result.findings if "fixtures/rflint" in f.path
+        ]
+        assert fixture_paths == []
+
+    def test_explicitly_named_file_bypasses_excludes(self):
+        result = lint_paths([str(FIXTURES / "rfp006_bad.py")], LintConfig())
+        assert result.findings
+
+
+class TestEngine:
+    def test_parse_error_reported_not_raised(self):
+        findings = lint_source("def broken(:\n", "src/repro/module.py")
+        assert [f.rule_id for f in findings] == [PARSE_ERROR_ID]
+
+    def test_findings_are_sorted_and_serializable(self):
+        findings = lint_fixture("rfp006_bad.py", "src/repro/module.py")
+        assert findings == sorted(findings)
+        for finding in findings:
+            record = finding.to_dict()
+            assert record["rule"] == "RFP006"
+            assert record["line"] >= 1
+
+    def test_unknown_select_rejected(self):
+        with pytest.raises(ValueError, match="RFP999"):
+            lint_paths(
+                [str(FIXTURES / "rfp006_bad.py")],
+                LintConfig(select=("RFP999",)),
+            )
+
+    def test_select_limits_rules(self):
+        result = lint_paths(
+            [str(FIXTURES / "rfp006_bad.py")], LintConfig(select=("RFP001",))
+        )
+        assert result.findings == ()
+
+
+class TestCli:
+    def test_repo_lints_clean(self, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        assert lint_main(["src", "tests"]) == 0
+
+    def test_rfprotect_lint_subcommand(self, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        assert cli_main(["lint", "src", "tests"]) == 0
+
+    def test_json_format_and_exit_code(self, monkeypatch, capsys):
+        monkeypatch.chdir(REPO_ROOT)
+        exit_code = lint_main(
+            ["--format", "json", "tests/fixtures/rflint/rfp006_bad.py"]
+        )
+        assert exit_code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["files_checked"] == 1
+        assert {f["rule"] for f in payload["findings"]} == {"RFP006"}
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in RULE_IDS:
+            assert rule_id in out
+
+    def test_missing_path_is_usage_error(self, capsys):
+        assert lint_main(["no/such/dir"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_python_m_entry_point(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(REPO_ROOT / "src"), env.get("PYTHONPATH", "")]
+        ).rstrip(os.pathsep)
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.devtools.lint", "--list-rules"],
+            cwd=REPO_ROOT, env=env, capture_output=True, text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 0
+        assert "RFP001" in completed.stdout
+
+
+class TestEnvRegistry:
+    def test_synth_backend_registered(self):
+        assert "RF_PROTECT_SYNTH" in ENV_REGISTRY
+
+    def test_default_and_explicit(self):
+        assert get_synth_backend({}) == "vectorized"
+        assert get_synth_backend({"RF_PROTECT_SYNTH": " Naive "}) == "naive"
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(ConfigurationError, match="RF_PROTECT_SYNTH"):
+            get_synth_backend({"RF_PROTECT_SYNTH": "turbo"})
+
+
+class TestTypingGate:
+    def test_mypy_strict_packages(self):
+        pytest.importorskip("mypy", reason="mypy not installed")
+        completed = subprocess.run(
+            [sys.executable, "-m", "mypy"],
+            cwd=REPO_ROOT, capture_output=True, text=True, timeout=600,
+        )
+        assert completed.returncode == 0, completed.stdout + completed.stderr

@@ -56,6 +56,22 @@ class TestOptionPrecedence:
         run_experiments(["spy"], fast=False, workers=1, base_seed=11, seed=5)
         assert spy_experiment[-1] == {"seed": 5}
 
+    def test_broadcast_seed_dropped_for_seedless_experiments(self, monkeypatch):
+        """``run all --seed N`` must not crash deterministic experiments."""
+        calls: list[dict] = []
+
+        def seedless_run(*, duration: float = 1.0) -> dict:
+            calls.append({"duration": duration})
+            return calls[-1]
+
+        spec = ExperimentSpec("seedless", "takes no seed", seedless_run,
+                              fast_options={})
+        monkeypatch.setitem(EXPERIMENTS, "seedless", spec)
+        run_experiment("seedless", fast=True, seed=3, duration=2.0)
+        assert calls[-1] == {"duration": 2.0}
+        run_experiments(["seedless"], fast=True, workers=1, base_seed=11)
+        assert calls[-1] == {"duration": 1.0}
+
 
 class TestUnknownIdErrors:
     def test_unknown_id_lists_all_known_ids(self):
