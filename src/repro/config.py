@@ -31,8 +31,11 @@ from repro.errors import ConfigurationError
 __all__ = [
     "ENV_REGISTRY",
     "EnvVar",
+    "PIPELINE_BACKENDS",
+    "PIPELINE_BACKEND_VAR",
     "SYNTH_BACKENDS",
     "SYNTH_BACKEND_VAR",
+    "get_pipeline_backend",
     "get_synth_backend",
 ]
 
@@ -40,6 +43,9 @@ T = TypeVar("T")
 
 #: Recognized beat-signal synthesis kernels (see ``repro.radar.frontend``).
 SYNTH_BACKENDS: tuple[str, ...] = ("naive", "vectorized")
+
+#: Recognized receive-processing engines (see ``repro.radar.pipeline``).
+PIPELINE_BACKENDS: tuple[str, ...] = ("naive", "vectorized")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -90,23 +96,38 @@ def _register(var: EnvVar[T]) -> EnvVar[T]:
     return var
 
 
-def _parse_synth_backend(raw: str) -> str:
-    backend = raw.strip().lower()
-    if backend not in SYNTH_BACKENDS:
-        raise ConfigurationError(
-            f"{SYNTH_BACKEND_VAR.name} must be one of {SYNTH_BACKENDS}, "
-            f"got {backend!r}"
-        )
-    return backend
+def _backend_parser(var_name: str,
+                    choices: tuple[str, ...]) -> Callable[[str], str]:
+    """A parser accepting exactly ``choices`` (case-insensitively)."""
+    def parse(raw: str) -> str:
+        backend = raw.strip().lower()
+        if backend not in choices:
+            raise ConfigurationError(
+                f"{var_name} must be one of {choices}, got {backend!r}"
+            )
+        return backend
+    return parse
 
 
 SYNTH_BACKEND_VAR: EnvVar[str] = _register(
     EnvVar(
         name="RF_PROTECT_SYNTH",
         default="vectorized",
-        parse=_parse_synth_backend,
+        parse=_backend_parser("RF_PROTECT_SYNTH", SYNTH_BACKENDS),
         description="beat-signal synthesis kernel: 'vectorized' (batched "
                     "engine) or 'naive' (reference per-component loop)",
+    )
+)
+
+
+PIPELINE_BACKEND_VAR: EnvVar[str] = _register(
+    EnvVar(
+        name="RF_PROTECT_PIPELINE",
+        default="vectorized",
+        parse=_backend_parser("RF_PROTECT_PIPELINE", PIPELINE_BACKENDS),
+        description="receive-processing engine: 'vectorized' (sweep-wide "
+                    "FFT + einsum beamforming, repro.radar.pipeline) or "
+                    "'naive' (reference per-frame loop)",
     )
 )
 
@@ -114,3 +135,8 @@ SYNTH_BACKEND_VAR: EnvVar[str] = _register(
 def get_synth_backend(environ: Mapping[str, str] | None = None) -> str:
     """The active synthesis kernel name, from ``RF_PROTECT_SYNTH``."""
     return SYNTH_BACKEND_VAR.read(environ)
+
+
+def get_pipeline_backend(environ: Mapping[str, str] | None = None) -> str:
+    """The active receive-processing engine, from ``RF_PROTECT_PIPELINE``."""
+    return PIPELINE_BACKEND_VAR.read(environ)

@@ -24,11 +24,21 @@ from repro.radar.batch import (
     synthesize_frame_vectorized,
     synthesize_frames,
 )
+from repro.radar.pipeline import (
+    SweepProcessingResult,
+    batched_background_subtract,
+    batched_beamform_power,
+    batched_range_profiles,
+    pipeline_backend,
+    process_sweep,
+)
 from repro.radar.processing import (
+    ZERO_PAD_FACTOR,
     RangeAngleProfile,
     background_subtract,
     compute_range_angle_map,
     frame_range_profiles,
+    range_keep_mask,
 )
 from repro.radar.pulsed import PulsedRadar, PulsedRadarConfig, PulsedSensingResult
 from repro.radar.radar import FmcwRadar, SensingResult
@@ -53,13 +63,21 @@ __all__ = [
     "Scene",
     "SensingResult",
     "StaticReflector",
+    "SweepProcessingResult",
     "TrackerConfig",
     "UniformLinearArray",
+    "ZERO_PAD_FACTOR",
     "background_subtract",
+    "batched_background_subtract",
+    "batched_beamform_power",
+    "batched_range_profiles",
     "compute_range_angle_map",
     "extract_tracks",
     "frame_range_profiles",
     "pack_components",
+    "pipeline_backend",
+    "process_sweep",
+    "range_keep_mask",
     "synthesis_backend",
     "synthesize_frame",
     "synthesize_frame_naive",

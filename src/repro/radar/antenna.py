@@ -20,6 +20,26 @@ from repro.signal.windows import get_window
 
 __all__ = ["UniformLinearArray"]
 
+#: Process-wide memo of steering planes, keyed by the array geometry
+#: (element count, spacing, wavelength), the taper name (``None`` for the
+#: bare Eq. 2 matrix), and the angle grid's raw bytes. Sensing sweeps
+#: beamform every frame against the *same* grid, so each plane is computed
+#: once and shared read-only; the handful of distinct grids a process ever
+#: uses keeps this map tiny.
+_STEERING_CACHE: dict[
+    tuple[int, float, float, str | None, bytes], np.ndarray
+] = {}
+
+#: Normalized taper weights per (element count, window name) — tiny arrays,
+#: but resolving them through the memo keeps every call site sharing one
+#: read-only plane instead of re-deriving the normalization.
+_WEIGHTS_CACHE: dict[tuple[int, str], np.ndarray] = {}
+
+#: Lag-basis planes of the autocorrelation form of Eq. 2 (see
+#: ``repro.radar.pipeline``), one ``(2K - 1, num_angles)`` array per
+#: (geometry, grid).
+_LAG_BASIS_CACHE: dict[tuple[int, float, float, bytes], np.ndarray] = {}
+
 
 class UniformLinearArray:
     """Receive-array geometry, angle conventions, and steering vectors."""
@@ -96,16 +116,108 @@ class UniformLinearArray:
         return (2.0 * np.pi * np.outer(k, np.cos(grid))
                 * self.spacing / self.wavelength)
 
+    def _steering_key(self, grid: np.ndarray, taper: str | None,
+                      ) -> tuple[int, float, float, str | None, bytes]:
+        return (self.num_antennas, self.spacing, self.wavelength, taper,
+                grid.tobytes())
+
     def steering_matrix(self, angles: np.ndarray) -> np.ndarray:
         """Conjugate steering vectors for Eq. 2, shape ``(num_angles, K)``.
 
         Row ``i`` dotted with the per-antenna signal vector ``h`` gives the
-        beamformed output toward ``angles[i]``.
+        beamformed output toward ``angles[i]``. The plane for a given
+        (geometry, grid) is computed once per process and returned as a
+        shared read-only array; ``.copy()`` it before modifying.
         """
         grid = np.asarray(angles, dtype=float)
-        k = np.arange(self.num_antennas)
-        phase = 2.0 * np.pi * np.outer(np.cos(grid), k) * self.spacing / self.wavelength
-        return np.exp(-1j * phase)
+        key = self._steering_key(grid, None)
+        cached = _STEERING_CACHE.get(key)
+        if cached is None:
+            k = np.arange(self.num_antennas)
+            phase = (2.0 * np.pi * np.outer(np.cos(grid), k)
+                     * self.spacing / self.wavelength)
+            cached = np.exp(-1j * phase)
+            cached.flags.writeable = False
+            _STEERING_CACHE[key] = cached
+        return cached
+
+    def tapered_steering_matrix(self, angles: np.ndarray,
+                                taper: str | None) -> np.ndarray:
+        """Steering matrix with the amplitude taper folded in, read-only.
+
+        This is the exact matrix :meth:`beamform` applies — taper weights
+        normalized to preserve total gain — cached per (geometry, grid,
+        taper) so the batched receive pipeline can contract whole sweeps
+        against one precomputed plane.
+        """
+        if taper is None:
+            return self.steering_matrix(angles)
+        grid = np.asarray(angles, dtype=float)
+        key = self._steering_key(grid, taper)
+        cached = _STEERING_CACHE.get(key)
+        if cached is None:
+            cached = self.steering_matrix(grid) * self.taper_weights(taper)
+            cached.flags.writeable = False
+            _STEERING_CACHE[key] = cached
+        return cached
+
+    def taper_weights(self, taper: str | None) -> np.ndarray:
+        """Normalized amplitude taper across the elements, shape ``(K,)``.
+
+        The window is scaled to preserve total gain (``sum == K``), exactly
+        the weights :meth:`beamform` folds into its steering matrix. Since
+        the taper is real, applying it to the *signals* instead of the
+        steering vectors yields the same per-term products — which is how
+        the batched pipeline uses it. Read-only cached plane.
+        """
+        if taper is None:
+            weights = np.ones(self.num_antennas, dtype=float)
+            weights.flags.writeable = False
+            return weights
+        key = (self.num_antennas, taper)
+        cached = _WEIGHTS_CACHE.get(key)
+        if cached is None:
+            window = get_window(taper, self.num_antennas)
+            cached = window / window.sum() * self.num_antennas
+            cached.flags.writeable = False
+            _WEIGHTS_CACHE[key] = cached
+        return cached
+
+    def lag_power_basis(self, angles: np.ndarray) -> np.ndarray:
+        """Basis turning autocorrelation lags into Eq. 2 power, ``(2K-1, A)``.
+
+        The element-``k`` steering phase is ``k * c(theta)`` with
+        ``c = 2 pi d cos(theta) / lambda`` — linear in ``k`` — so Eq. 2's
+        power depends on antenna pairs only through their index *lag*
+        ``m = k - l``:
+
+            P(theta) = R_0 + 2 sum_m [Re R_m cos(m c) + Im R_m sin(m c)]
+
+        where ``R_m`` is the lag-``m`` spatial autocorrelation of the
+        tapered signals. This method returns that expansion as a single
+        matrix: row 0 is all ones (the ``R_0`` term), rows ``1 .. K-1``
+        hold ``2 cos(m c)`` and rows ``K .. 2K-2`` hold ``2 sin(m c)``, so
+        stacking ``[R_0 | Re R | Im R]`` per bin and multiplying by this
+        basis yields the power map in one real GEMM (see
+        :func:`repro.radar.pipeline.batched_beamform_power`). Computed once
+        per (geometry, grid), returned read-only.
+        """
+        grid = np.asarray(angles, dtype=float)
+        key = (self.num_antennas, self.spacing, self.wavelength,
+               grid.tobytes())
+        cached = _LAG_BASIS_CACHE.get(key)
+        if cached is None:
+            lags = np.arange(1, self.num_antennas)
+            phase = (2.0 * np.pi * np.outer(lags, np.cos(grid))
+                     * self.spacing / self.wavelength)
+            cached = np.concatenate([
+                np.ones((1, grid.shape[0]), dtype=np.float64),
+                2.0 * np.cos(phase),
+                2.0 * np.sin(phase),
+            ])
+            cached.flags.writeable = False
+            _LAG_BASIS_CACHE[key] = cached
+        return cached
 
     def beamform(self, signals: np.ndarray, angles: np.ndarray, *,
                  taper: str | None = "hamming") -> np.ndarray:
@@ -127,8 +239,5 @@ class UniformLinearArray:
             raise ConfigurationError(
                 f"expected {self.num_antennas} antenna signals, got {h.shape[0]}"
             )
-        steering = self.steering_matrix(angles)
-        if taper is not None:
-            weights = get_window(taper, self.num_antennas)
-            steering = steering * (weights / weights.sum() * self.num_antennas)
+        steering = self.tapered_steering_matrix(angles, taper)
         return np.abs(steering @ h) ** 2

@@ -20,12 +20,22 @@ from repro.signal.spectral import range_axis, range_fft
 
 __all__ = [
     "RangeAngleProfile",
+    "ZERO_PAD_FACTOR",
     "background_subtract",
     "compute_range_angle_map",
     "frame_range_profiles",
+    "range_keep_mask",
 ]
 
-_ZERO_PAD_FACTOR = 2
+#: Range-FFT length multiplier used by the *entire* receive chain — the
+#: per-frame reference path here, the batched engine in
+#: :mod:`repro.radar.pipeline`, and ``SensingResult.range_bins()`` all read
+#: this one constant, so the FFT grid and the reported range axis can never
+#: drift apart.
+ZERO_PAD_FACTOR = 2
+
+# Backwards-compatible private alias (pre-pipeline callers imported this).
+_ZERO_PAD_FACTOR = ZERO_PAD_FACTOR
 
 
 def frame_range_profiles(frame: np.ndarray, config: RadarConfig) -> np.ndarray:
@@ -35,7 +45,7 @@ def frame_range_profiles(frame: np.ndarray, config: RadarConfig) -> np.ndarray:
         raise SignalProcessingError(
             f"frame must be (num_antennas, num_samples), got {beats.shape}"
         )
-    return range_fft(beats, config.chirp, zero_pad_factor=_ZERO_PAD_FACTOR)
+    return range_fft(beats, config.chirp, zero_pad_factor=ZERO_PAD_FACTOR)
 
 
 def background_subtract(profiles: np.ndarray,
@@ -54,6 +64,19 @@ def background_subtract(profiles: np.ndarray,
             f"frame shape changed between subtractions: {prev.shape} -> {current.shape}"
         )
     return current - prev
+
+
+def range_keep_mask(ranges: np.ndarray, *, min_range: float,
+                    max_range: float | None) -> np.ndarray:
+    """Boolean mask of range bins inside ``[min_range, max_range]``.
+
+    One definition shared by the per-frame reference path and the batched
+    pipeline so both crop the range axis identically.
+    """
+    keep = ranges >= min_range
+    if max_range is not None:
+        keep = keep & (ranges <= max_range)
+    return keep
 
 
 @dataclasses.dataclass(frozen=True)
@@ -115,13 +138,11 @@ def compute_range_angle_map(subtracted_profiles: np.ndarray,
             outside the home, as in Sec. 5.1).
         min_range: near-field blanking (defaults to ``config.min_range``).
     """
-    ranges = range_axis(config.chirp, zero_pad_factor=_ZERO_PAD_FACTOR)
+    ranges = range_axis(config.chirp, zero_pad_factor=ZERO_PAD_FACTOR)
     profiles = np.asarray(subtracted_profiles)
     if min_range is None:
         min_range = config.min_range
-    keep = ranges >= min_range
-    if max_range is not None:
-        keep &= ranges <= max_range
+    keep = range_keep_mask(ranges, min_range=min_range, max_range=max_range)
     ranges = ranges[keep]
     profiles = profiles[:, keep]
     angles = config.angle_grid()

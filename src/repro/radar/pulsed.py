@@ -30,7 +30,12 @@ from repro.radar.antenna import UniformLinearArray
 from repro.radar.config import RadarConfig
 from repro.radar.batch import pack_components
 from repro.radar.frontend import PathComponent
-from repro.radar.processing import RangeAngleProfile
+from repro.radar.pipeline import (
+    batched_background_subtract,
+    batched_beamform_power,
+    pipeline_backend,
+)
+from repro.radar.processing import RangeAngleProfile, range_keep_mask
 from repro.radar.scene import Scene
 from repro.radar.tracker import Track, TrackerConfig, extract_tracks
 from repro.types import Trajectory
@@ -204,20 +209,45 @@ class PulsedRadar:
         num_frames = max(int(round(duration * config.frame_rate)), 2)
         times = start_time + np.arange(num_frames) * config.frame_interval
         ranges = self._range_axis()
-        keep = (ranges >= config.min_range) & (ranges <= config.max_range)
+        keep = range_keep_mask(ranges, min_range=config.min_range,
+                               max_range=config.max_range)
         angles = config.angle_grid()
 
-        profiles: list[RangeAngleProfile] = []
-        previous = None
-        for t in times:
+        # Echo synthesis stays a time-ordered loop in both backends: the
+        # scene query and the noise draw must hit the generator in the same
+        # order frame by frame, so a fixed seed reproduces bit-for-bit.
+        echoes = np.empty((num_frames, config.num_antennas,
+                           config.num_samples), dtype=complex)
+        for f, t in enumerate(times):
             components = scene.path_components(float(t), self.array, rng)
-            current = self._echo_profile(components, rng)
-            subtracted = (np.zeros_like(current) if previous is None
-                          else current - previous)
-            previous = current
-            power = self.array.beamform(subtracted[:, keep], angles)
-            profiles.append(RangeAngleProfile(power=power.T,
-                                              ranges=ranges[keep],
-                                              angles=angles, time=float(t)))
+            echoes[f] = self._echo_profile(components, rng)
+
+        profiles: list[RangeAngleProfile] = []
+        if pipeline_backend() == "naive":
+            previous = None
+            for t, current in zip(times, echoes):
+                subtracted = (np.zeros_like(current) if previous is None
+                              else current - previous)
+                previous = current
+                power = self.array.beamform(subtracted[:, keep], angles)
+                profiles.append(RangeAngleProfile(power=power.T,
+                                                  ranges=ranges[keep],
+                                                  angles=angles,
+                                                  time=float(t)))
+        else:
+            # Crop commutes with the elementwise subtraction, so cut the
+            # cube down to in-window bins before differencing it.
+            kept_echoes = np.ascontiguousarray(echoes[:, :, keep])
+            subtracted_cube = batched_background_subtract(kept_echoes)
+            power_cube = batched_beamform_power(subtracted_cube,
+                                                self.array, angles)
+            power_cube.flags.writeable = False
+            kept_ranges = ranges[keep]
+            kept_ranges.flags.writeable = False
+            profiles = [
+                RangeAngleProfile(power=power_cube[f], ranges=kept_ranges,
+                                  angles=angles, time=float(t))
+                for f, t in enumerate(times)
+            ]
         return PulsedSensingResult(times=times, profiles=profiles,
                                    config=config, array=self.array)

@@ -23,7 +23,9 @@ from repro.radar.frontend import (
     synthesize_frame,
     thermal_noise,
 )
+from repro.radar.pipeline import pipeline_backend, process_sweep
 from repro.radar.processing import (
+    ZERO_PAD_FACTOR,
     RangeAngleProfile,
     background_subtract,
     compute_range_angle_map,
@@ -63,8 +65,12 @@ class SensingResult:
         return self.config.frame_interval
 
     def range_bins(self) -> np.ndarray:
-        """Distance of each raw-profile range bin, meters."""
-        return range_axis(self.config.chirp, zero_pad_factor=2)
+        """Distance of each raw-profile range bin, meters.
+
+        Uses the pipeline-wide ``ZERO_PAD_FACTOR`` so the reported axis can
+        never drift from the FFT grid that produced ``raw_profiles``.
+        """
+        return range_axis(self.config.chirp, zero_pad_factor=ZERO_PAD_FACTOR)
 
     def tracks(self, tracker_config: TrackerConfig | None = None) -> list[Track]:
         """Run trajectory extraction on the captured profiles."""
@@ -168,6 +174,31 @@ class FmcwRadar:
         times = start_time + np.arange(num_frames) * self.config.frame_interval
         frames = self._synthesize_sweep(scene, times, rng)
 
+        if pipeline_backend() == "naive":
+            profiles, raw_profiles = self._process_sweep_naive(
+                times, frames, max_range
+            )
+        else:
+            sweep = process_sweep(frames, self.config, self.array, times,
+                                  max_range=max_range)
+            profiles = sweep.profiles()
+            raw_profiles = sweep.raw_profiles
+        return SensingResult(
+            times=times,
+            profiles=profiles,
+            raw_profiles=raw_profiles,
+            config=self.config,
+            array=self.array,
+        )
+
+    def _process_sweep_naive(self, times: np.ndarray, frames: np.ndarray,
+                             max_range: float,
+                             ) -> tuple[list[RangeAngleProfile], np.ndarray]:
+        """Reference per-frame receive pipeline (``RF_PROTECT_PIPELINE=naive``).
+
+        Recomputes the range axis, window tapers, and steering matrix every
+        frame — kept as the kernel the batched engine is pinned against.
+        """
         profiles: list[RangeAngleProfile] = []
         raw_profiles: list[np.ndarray] = []
         previous = None
@@ -180,10 +211,4 @@ class FmcwRadar:
                 compute_range_angle_map(subtracted, self.config, self.array,
                                         float(t), max_range=max_range)
             )
-        return SensingResult(
-            times=times,
-            profiles=profiles,
-            raw_profiles=np.stack(raw_profiles),
-            config=self.config,
-            array=self.array,
-        )
+        return profiles, np.stack(raw_profiles)

@@ -121,27 +121,41 @@ def detect_peaks_2d(power_map: np.ndarray, *, threshold: float,
         sidelobe_ratio = 10.0 ** (-sidelobe_rejection_db / 10.0)
         range_sidelobe_ratio = 10.0 ** (-range_sidelobe_rejection_db / 10.0)
 
+    # Strongest-first greedy acceptance, vectorized: instead of re-testing
+    # every candidate against every accepted peak (O(P^2)), each accepted
+    # peak stamps (a) its separation rectangle into a blocked-cell mask and
+    # (b) its sidelobe power floor into per-row / per-column threshold
+    # arrays. A candidate within ``sidelobe_range_bins`` rows of *some*
+    # accepted peak is weaker than ``p.power * ratio`` for some such peak
+    # iff it is below the running row-wise maximum of those floors, so the
+    # thresholds reproduce the pairwise ``any(...)`` exactly.
     order = np.argsort(grid[rows, cols])[::-1]
+    blocked = np.zeros(grid.shape, dtype=bool)
+    row_floor = np.zeros(grid.shape[0], dtype=float)
+    col_floor = np.zeros(grid.shape[1], dtype=float)
     accepted: list[PeakDetection] = []
     for k in order:
         r, c = int(rows[k]), int(cols[k])
         power = float(grid[r, c])
-        clash = any(
-            abs(r - p.range_index) < min_range_separation
-            and abs(c - p.angle_index) < min_angle_separation
-            for p in accepted
-        )
+        clash = bool(blocked[r, c])
         if not clash and sidelobe_ratio is not None:
-            clash = any(
-                (abs(r - p.range_index) <= sidelobe_range_bins
-                 and power < p.power * sidelobe_ratio)
-                or (abs(c - p.angle_index) <= range_sidelobe_angle_bins
-                    and power < p.power * range_sidelobe_ratio)
-                for p in accepted
-            )
+            clash = power < row_floor[r] or power < col_floor[c]
         if clash:
             continue
         accepted.append(PeakDetection(r, c, power))
         if max_peaks is not None and len(accepted) >= max_peaks:
             break
+        blocked[max(r - min_range_separation + 1, 0): r + min_range_separation,
+                max(c - min_angle_separation + 1, 0): c + min_angle_separation,
+                ] = True
+        if sidelobe_ratio is not None:
+            assert range_sidelobe_ratio is not None
+            row_lo = max(r - sidelobe_range_bins, 0)
+            row_slice = slice(row_lo, r + sidelobe_range_bins + 1)
+            np.maximum(row_floor[row_slice], power * sidelobe_ratio,
+                       out=row_floor[row_slice])
+            col_lo = max(c - range_sidelobe_angle_bins, 0)
+            col_slice = slice(col_lo, c + range_sidelobe_angle_bins + 1)
+            np.maximum(col_floor[col_slice], power * range_sidelobe_ratio,
+                       out=col_floor[col_slice])
     return accepted

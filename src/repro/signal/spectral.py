@@ -7,6 +7,8 @@ range FFT separates those tones at a resolution of ``C / 2B`` (Sec. 3).
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
 
 from repro.errors import SignalProcessingError
@@ -50,13 +52,27 @@ def range_fft(beat_samples: np.ndarray, chirp: ChirpConfig, *,
     return spectrum[..., : n_fft // 2]
 
 
-def range_axis(chirp: ChirpConfig, *, zero_pad_factor: int = 2) -> np.ndarray:
-    """Distances (meters) corresponding to each ``range_fft`` output bin."""
-    if zero_pad_factor < 1:
-        raise SignalProcessingError("zero_pad_factor must be >= 1")
+@functools.lru_cache(maxsize=None)
+def _cached_range_axis(chirp: ChirpConfig, zero_pad_factor: int) -> np.ndarray:
     n_fft = chirp.num_samples * zero_pad_factor
     beat_frequencies = np.arange(n_fft // 2) * chirp.sample_rate / n_fft
-    return np.asarray(chirp.beat_frequency_to_distance(beat_frequencies))
+    axis = np.asarray(chirp.beat_frequency_to_distance(beat_frequencies))
+    axis.flags.writeable = False
+    return axis
+
+
+def range_axis(chirp: ChirpConfig, *, zero_pad_factor: int = 2) -> np.ndarray:
+    """Distances (meters) corresponding to each ``range_fft`` output bin.
+
+    The axis for a given ``(chirp, zero_pad_factor)`` is computed once per
+    process and returned as a shared read-only array (``ChirpConfig`` is a
+    frozen, hashable dataclass, so it keys the memo directly); the receive
+    pipeline asks for it on every frame. Callers needing to modify the axis
+    must ``.copy()`` it.
+    """
+    if zero_pad_factor < 1:
+        raise SignalProcessingError("zero_pad_factor must be >= 1")
+    return _cached_range_axis(chirp, zero_pad_factor)
 
 
 def beat_spectrum(beat_samples: np.ndarray, chirp: ChirpConfig, *,
@@ -89,12 +105,18 @@ def find_spectral_peaks(power: np.ndarray, *, min_height: float = 0.0,
     interior = spectrum[1:-1]
     is_peak = (interior > spectrum[:-2]) & (interior >= spectrum[2:])
     candidates = np.nonzero(is_peak & (interior >= min_height))[0] + 1
-    # Strongest-first greedy suppression of nearby peaks.
+    # Strongest-first greedy suppression of nearby peaks. Instead of testing
+    # each candidate against every accepted peak (O(P^2)), accepted peaks
+    # stamp their exclusion interval into a blocked-bin mask, making each
+    # candidate an O(1) lookup.
     order = candidates[np.argsort(spectrum[candidates])[::-1]]
+    blocked = np.zeros(spectrum.size, dtype=bool)
     accepted: list[int] = []
     for idx in order:
-        if all(abs(idx - kept) >= min_separation for kept in accepted):
-            accepted.append(int(idx))
-            if max_peaks is not None and len(accepted) >= max_peaks:
-                break
+        if blocked[idx]:
+            continue
+        accepted.append(int(idx))
+        if max_peaks is not None and len(accepted) >= max_peaks:
+            break
+        blocked[max(idx - min_separation + 1, 0): idx + min_separation] = True
     return accepted

@@ -2,9 +2,17 @@
 
 Implemented directly (rather than via scipy) so the exact taper used by the
 range FFT is visible and testable; these are the textbook cosine-sum forms.
+
+:func:`get_window` memoizes each ``(name, length)`` plane once per process
+and hands out the *same* read-only array on every call — the receive
+pipeline applies a taper to every frame of every sweep, so the cosine-sum
+evaluation must not be paid per frame. Callers that need a mutable copy
+must ``.copy()`` explicitly.
 """
 
 from __future__ import annotations
+
+import functools
 
 import numpy as np
 
@@ -61,17 +69,26 @@ _WINDOWS = {
 }
 
 
+@functools.lru_cache(maxsize=None)
+def _cached_window(canonical_name: str, length: int) -> np.ndarray:
+    window = _WINDOWS[canonical_name](length)
+    window.flags.writeable = False
+    return window
+
+
 def get_window(name: str, length: int) -> np.ndarray:
     """Return the named window of the given length.
 
-    Raises :class:`SignalProcessingError` for unknown names so typos fail
-    loudly instead of silently falling back to a rectangular window.
+    The result is a process-wide cached array with ``writeable=False`` —
+    every caller shares the same plane, so in-place mutation raises; take a
+    ``.copy()`` to modify. Raises :class:`SignalProcessingError` for unknown
+    names so typos fail loudly instead of silently falling back to a
+    rectangular window.
     """
-    try:
-        factory = _WINDOWS[name.lower()]
-    except KeyError:
+    canonical = name.lower()
+    if canonical not in _WINDOWS:
         known = ", ".join(sorted(_WINDOWS))
         raise SignalProcessingError(
             f"unknown window {name!r}; known windows: {known}"
-        ) from None
-    return factory(length)
+        )
+    return _cached_window(canonical, length)
