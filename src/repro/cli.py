@@ -8,6 +8,7 @@ Usage::
     rfprotect run all --fast       # every experiment, quick settings
     rfprotect run all --fast --workers 4   # fan out over 4 processes
     rfprotect lint src tests       # rflint static-analysis suite
+    rfprotect serve --requests 32  # micro-batching sensing service demo
 """
 
 from __future__ import annotations
@@ -58,6 +59,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run the rflint static-analysis suite (see 'rfprotect lint -h')",
     )
     lint_parser.add_argument("lint_args", nargs=argparse.REMAINDER)
+
+    serve_parser = subparsers.add_parser(
+        "serve", add_help=False,
+        help="run the micro-batching sensing service on a demo workload "
+             "(see 'rfprotect serve -h')",
+    )
+    serve_parser.add_argument("serve_args", nargs=argparse.REMAINDER)
     return parser
 
 
@@ -81,6 +89,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.devtools.lint import main as lint_main
 
         return lint_main(arguments[1:])
+    if arguments[:1] == ["serve"]:
+        # Same forwarding pattern: serve owns its option surface.
+        from repro.serve.app import main as serve_main
+
+        return serve_main(arguments[1:])
     args = _build_parser().parse_args(arguments)
 
     if args.command == "list":

@@ -22,6 +22,7 @@ function; nothing else in the tree should touch the environment.
 from __future__ import annotations
 
 import dataclasses
+import math
 import os
 from collections.abc import Callable, Mapping
 from typing import Generic, TypeVar
@@ -29,13 +30,24 @@ from typing import Generic, TypeVar
 from repro.errors import ConfigurationError
 
 __all__ = [
+    "ENV_ACCESSORS",
     "ENV_REGISTRY",
     "EnvVar",
     "PIPELINE_BACKENDS",
     "PIPELINE_BACKEND_VAR",
+    "SERVE_BATCH_WINDOW_MS_VAR",
+    "SERVE_DEADLINE_S_VAR",
+    "SERVE_MAX_BATCH_VAR",
+    "SERVE_QUEUE_DEPTH_VAR",
+    "SERVE_WORKERS_VAR",
     "SYNTH_BACKENDS",
     "SYNTH_BACKEND_VAR",
     "get_pipeline_backend",
+    "get_serve_batch_window_ms",
+    "get_serve_deadline_s",
+    "get_serve_max_batch",
+    "get_serve_queue_depth",
+    "get_serve_workers",
     "get_synth_backend",
 ]
 
@@ -132,6 +144,90 @@ PIPELINE_BACKEND_VAR: EnvVar[str] = _register(
 )
 
 
+def _positive_int_parser(var_name: str) -> Callable[[str], int]:
+    """A parser accepting strictly positive integers."""
+    def parse(raw: str) -> int:
+        value = int(raw.strip())
+        if value <= 0:
+            raise ConfigurationError(
+                f"{var_name} must be a positive integer, got {value}"
+            )
+        return value
+    return parse
+
+
+def _positive_float_parser(var_name: str, *,
+                           allow_zero: bool = False) -> Callable[[str], float]:
+    """A parser accepting positive (optionally zero) finite floats."""
+    def parse(raw: str) -> float:
+        value = float(raw.strip())
+        if not math.isfinite(value):
+            raise ConfigurationError(f"{var_name} must be finite, got {value}")
+        if value < 0 or (value == 0 and not allow_zero):
+            bound = ">= 0" if allow_zero else "> 0"
+            raise ConfigurationError(
+                f"{var_name} must be {bound}, got {value}"
+            )
+        return value
+    return parse
+
+
+SERVE_BATCH_WINDOW_MS_VAR: EnvVar[float] = _register(
+    EnvVar(
+        name="RF_PROTECT_SERVE_BATCH_WINDOW_MS",
+        default=2.0,
+        parse=_positive_float_parser("RF_PROTECT_SERVE_BATCH_WINDOW_MS",
+                                     allow_zero=True),
+        description="micro-batching window in milliseconds: how long the "
+                    "sensing service holds an open batch for more compatible "
+                    "requests before flushing it (0 flushes immediately)",
+    )
+)
+
+
+SERVE_MAX_BATCH_VAR: EnvVar[int] = _register(
+    EnvVar(
+        name="RF_PROTECT_SERVE_MAX_BATCH",
+        default=32,
+        parse=_positive_int_parser("RF_PROTECT_SERVE_MAX_BATCH"),
+        description="largest number of sense requests the service coalesces "
+                    "into one vectorized batch",
+    )
+)
+
+
+SERVE_QUEUE_DEPTH_VAR: EnvVar[int] = _register(
+    EnvVar(
+        name="RF_PROTECT_SERVE_QUEUE_DEPTH",
+        default=256,
+        parse=_positive_int_parser("RF_PROTECT_SERVE_QUEUE_DEPTH"),
+        description="admission-control bound: requests pending inside the "
+                    "service before new submissions are rejected",
+    )
+)
+
+
+SERVE_DEADLINE_S_VAR: EnvVar[float] = _register(
+    EnvVar(
+        name="RF_PROTECT_SERVE_DEADLINE_S",
+        default=30.0,
+        parse=_positive_float_parser("RF_PROTECT_SERVE_DEADLINE_S"),
+        description="default per-request deadline in seconds: queued work "
+                    "whose deadline expires is cancelled, never executed",
+    )
+)
+
+
+SERVE_WORKERS_VAR: EnvVar[int] = _register(
+    EnvVar(
+        name="RF_PROTECT_SERVE_WORKERS",
+        default=2,
+        parse=_positive_int_parser("RF_PROTECT_SERVE_WORKERS"),
+        description="bounded worker pool size executing flushed batches",
+    )
+)
+
+
 def get_synth_backend(environ: Mapping[str, str] | None = None) -> str:
     """The active synthesis kernel name, from ``RF_PROTECT_SYNTH``."""
     return SYNTH_BACKEND_VAR.read(environ)
@@ -140,3 +236,42 @@ def get_synth_backend(environ: Mapping[str, str] | None = None) -> str:
 def get_pipeline_backend(environ: Mapping[str, str] | None = None) -> str:
     """The active receive-processing engine, from ``RF_PROTECT_PIPELINE``."""
     return PIPELINE_BACKEND_VAR.read(environ)
+
+
+def get_serve_batch_window_ms(environ: Mapping[str, str] | None = None) -> float:
+    """Micro-batching window (ms), from ``RF_PROTECT_SERVE_BATCH_WINDOW_MS``."""
+    return SERVE_BATCH_WINDOW_MS_VAR.read(environ)
+
+
+def get_serve_max_batch(environ: Mapping[str, str] | None = None) -> int:
+    """Largest coalesced batch size, from ``RF_PROTECT_SERVE_MAX_BATCH``."""
+    return SERVE_MAX_BATCH_VAR.read(environ)
+
+
+def get_serve_queue_depth(environ: Mapping[str, str] | None = None) -> int:
+    """Admission-control queue bound, from ``RF_PROTECT_SERVE_QUEUE_DEPTH``."""
+    return SERVE_QUEUE_DEPTH_VAR.read(environ)
+
+
+def get_serve_deadline_s(environ: Mapping[str, str] | None = None) -> float:
+    """Default request deadline (s), from ``RF_PROTECT_SERVE_DEADLINE_S``."""
+    return SERVE_DEADLINE_S_VAR.read(environ)
+
+
+def get_serve_workers(environ: Mapping[str, str] | None = None) -> int:
+    """Batch-executing worker count, from ``RF_PROTECT_SERVE_WORKERS``."""
+    return SERVE_WORKERS_VAR.read(environ)
+
+
+#: Accessor for every declared variable, keyed by variable name. Tests use
+#: this to prove the registry is complete: a knob declared without a typed
+#: accessor (or vice versa) fails ``tests/test_config_registry.py``.
+ENV_ACCESSORS: dict[str, Callable[[Mapping[str, str] | None], object]] = {
+    "RF_PROTECT_SYNTH": get_synth_backend,
+    "RF_PROTECT_PIPELINE": get_pipeline_backend,
+    "RF_PROTECT_SERVE_BATCH_WINDOW_MS": get_serve_batch_window_ms,
+    "RF_PROTECT_SERVE_MAX_BATCH": get_serve_max_batch,
+    "RF_PROTECT_SERVE_QUEUE_DEPTH": get_serve_queue_depth,
+    "RF_PROTECT_SERVE_DEADLINE_S": get_serve_deadline_s,
+    "RF_PROTECT_SERVE_WORKERS": get_serve_workers,
+}

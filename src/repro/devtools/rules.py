@@ -7,7 +7,7 @@ count), no wall-clock/uuid nondeterminism in result paths, centralized
 and hygiene classics (mutable defaults, swallowed exceptions, unseeded
 test RNGs).
 
-Rule ids are stable: ``RFP001``–``RFP007``. Suppress a deliberate
+Rule ids are stable: ``RFP001``–``RFP008``. Suppress a deliberate
 violation with a trailing ``# rflint: disable=RFP00x`` comment.
 """
 
@@ -26,6 +26,7 @@ __all__ = [
     "MutableDefaultArgument",
     "SwallowedException",
     "TestHygiene",
+    "AsyncBlockingCall",
 ]
 
 
@@ -529,3 +530,89 @@ class TestHygiene(Rule):
         if isinstance(node, ast.Attribute) and node.attr == "fixture":
             return True
         return isinstance(node, ast.Name) and node.id == "fixture"
+
+
+_BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "io.open",
+        "os.system",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+    }
+)
+
+_BLOCKING_METHODS = frozenset(
+    {"read_text", "write_text", "read_bytes", "write_bytes"}
+)
+
+
+@register
+class AsyncBlockingCall(Rule):
+    """RFP008 — no blocking calls inside ``async def`` in the serving stack.
+
+    One ``time.sleep`` or synchronous file read inside a coroutine stalls
+    the whole event loop: every queued request's latency absorbs it, the
+    flusher misses its batch windows, and deadlines fire for work that was
+    never behind. Blocking work belongs on the executor
+    (``loop.run_in_executor``); coroutines must use ``asyncio.sleep`` and
+    keep I/O out of the loop thread. Nested synchronous ``def``s are
+    exempt — they are precisely what gets shipped to the executor.
+    """
+
+    rule_id = "RFP008"
+    title = "blocking call in async function"
+    include = ("*repro/serve/*",)
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        aliases = build_aliases(source.tree)
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_coroutine(source, node, aliases)
+
+    def _check_coroutine(
+        self, source: SourceFile, coroutine: ast.AsyncFunctionDef,
+        aliases: dict[str, str],
+    ) -> Iterator[Finding]:
+        def walk_coroutine_body(node: ast.AST) -> Iterator[ast.AST]:
+            # Nested defs are separate execution contexts: a sync def is
+            # executor-bound (allowed to block), a nested async def is
+            # visited as its own AsyncFunctionDef by check().
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                yield child
+                yield from walk_coroutine_body(child)
+
+        for node in walk_coroutine_body(coroutine):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve(node.func, aliases)
+            if target in _BLOCKING_CALLS:
+                hint = ("await asyncio.sleep(...)" if target == "time.sleep"
+                        else "loop.run_in_executor(...)")
+                yield self.finding(
+                    source, node,
+                    f"{target}() blocks the event loop inside async "
+                    f"{coroutine.name}(); use {hint}",
+                )
+            elif isinstance(node.func, ast.Name) and node.func.id == "open":
+                yield self.finding(
+                    source, node,
+                    f"open() blocks the event loop inside async "
+                    f"{coroutine.name}(); do file I/O via "
+                    f"loop.run_in_executor(...)",
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _BLOCKING_METHODS
+            ):
+                yield self.finding(
+                    source, node,
+                    f".{node.func.attr}() is synchronous file I/O inside "
+                    f"async {coroutine.name}(); do it via "
+                    f"loop.run_in_executor(...)",
+                )

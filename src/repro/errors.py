@@ -46,3 +46,19 @@ class TrainingError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was invoked with an unknown id or bad options."""
+
+
+class ServeError(ReproError):
+    """Base class for failures raised by the sensing service (`repro.serve`)."""
+
+
+class ServiceOverloadedError(ServeError):
+    """Admission control rejected a request: the service queue is full."""
+
+
+class DeadlineExceededError(ServeError):
+    """A request's deadline expired before its batch started executing."""
+
+
+class ServiceClosedError(ServeError):
+    """A request was submitted to a service that is not running."""

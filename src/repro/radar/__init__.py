@@ -21,6 +21,7 @@ from repro.radar.frontend import (
 from repro.radar.batch import (
     PackedComponents,
     pack_components,
+    synthesize_frame_batches,
     synthesize_frame_vectorized,
     synthesize_frames,
 )
@@ -28,7 +29,9 @@ from repro.radar.pipeline import (
     SweepProcessingResult,
     batched_background_subtract,
     batched_beamform_power,
+    batched_lag_vectors,
     batched_range_profiles,
+    beamform_from_lags,
     pipeline_backend,
     process_sweep,
 )
@@ -70,7 +73,9 @@ __all__ = [
     "background_subtract",
     "batched_background_subtract",
     "batched_beamform_power",
+    "batched_lag_vectors",
     "batched_range_profiles",
+    "beamform_from_lags",
     "compute_range_angle_map",
     "extract_tracks",
     "frame_range_profiles",
@@ -80,6 +85,7 @@ __all__ = [
     "range_keep_mask",
     "synthesis_backend",
     "synthesize_frame",
+    "synthesize_frame_batches",
     "synthesize_frame_naive",
     "synthesize_frame_vectorized",
     "synthesize_frames",

@@ -37,6 +37,7 @@ from repro.signal.chirp import ChirpConfig
 __all__ = [
     "PackedComponents",
     "pack_components",
+    "synthesize_frame_batches",
     "synthesize_frame_vectorized",
     "synthesize_frames",
 ]
@@ -124,6 +125,40 @@ def _contract_frame(amplitudes: np.ndarray, beat: np.ndarray,
     )
 
 
+def _contract_frames_batched(amplitudes: np.ndarray, beat: np.ndarray,
+                             carrier: np.ndarray, steering: np.ndarray,
+                             chirp: ChirpConfig) -> np.ndarray:
+    """Contract a stack of equal-component-count frames, ``(F, K, N)``.
+
+    The batched form of :func:`_contract_frame`: inputs carry a leading
+    frame axis (``amplitudes``/``beat``/``carrier`` are ``(F, C)``,
+    ``steering`` is ``(F, K, C)``) and the per-frame matmul becomes one
+    stacked ``(F, K*num_blocks, C) @ (F, C, B)`` call. Every elementwise
+    op computes the same scalars as the per-frame kernel and each matmul
+    slice is the identical GEMM (same shapes, same contiguous layout), so
+    the stack is bitwise equal to ``F`` separate ``_contract_frame`` calls
+    — the batching only removes per-frame dispatch overhead.
+    """
+    num_samples = chirp.num_samples
+    num_frames, num_antennas = steering.shape[0], steering.shape[1]
+    theta = (2.0 * np.pi / chirp.sample_rate) * beat
+    block_len = max(int(np.ceil(np.sqrt(num_samples))), 1)
+    num_blocks = -(-num_samples // block_len)
+
+    base = np.exp(1j * theta[:, :, None] * np.arange(block_len)[None, None, :])
+    block = np.exp(1j * theta[:, :, None]
+                   * (np.arange(num_blocks) * block_len)[None, None, :])
+    block *= (amplitudes * np.exp(1j * carrier))[:, :, None]
+
+    # (F, K, 1, C) * (F, 1, num_blocks, C) -> (F, K, num_blocks, C)
+    weights = steering[:, :, None, :] * block.transpose(0, 2, 1)[:, None, :, :]
+    frames = weights.reshape(num_frames, num_antennas * num_blocks, -1) @ base
+    return np.ascontiguousarray(
+        frames.reshape(num_frames, num_antennas,
+                       num_blocks * block_len)[:, :, :num_samples]
+    )
+
+
 def synthesize_frame_vectorized(
         components: Sequence[PathComponent] | PackedComponents,
         config: RadarConfig, array: UniformLinearArray,
@@ -178,14 +213,26 @@ def synthesize_frames(components_per_frame: Sequence[Sequence[PathComponent]],
         amplitudes = np.where(keep, packed.amplitudes, 0.0)
         steering = np.exp(1j * array.arrival_phase_matrix(packed.angles))
 
+        # Frames with equal component counts share one stacked contraction:
+        # each matmul slice is the identical GEMM a per-frame call would
+        # run, so grouping only removes per-frame dispatch overhead.
+        starts = np.concatenate(([0], np.cumsum(counts)))
+        groups: dict[int, list[int]] = {}
+        for f, count in enumerate(counts):
+            if count:
+                groups.setdefault(count, []).append(f)
+        for count, frame_ids in groups.items():
+            # (F_g, C) gather indices into the flat component batch.
+            index = (starts[frame_ids][:, None]
+                     + np.arange(count)[None, :])
+            frames[frame_ids] = _contract_frames_batched(
+                amplitudes[index], beat[index], carrier[index],
+                steering[:, index].transpose(1, 0, 2), config.chirp)
+
         start = 0
         for f, count in enumerate(counts):
             stop = start + count
             if count:
-                frames[f] = _contract_frame(
-                    amplitudes[start:stop], beat[start:stop],
-                    carrier[start:stop], steering[:, start:stop],
-                    config.chirp)
                 SYNTH_STATS.record_frame(
                     count, int(count - np.count_nonzero(keep[start:stop])),
                     "vectorized")
@@ -200,3 +247,38 @@ def synthesize_frames(components_per_frame: Sequence[Sequence[PathComponent]],
         for f in range(num_frames):
             frames[f] += thermal_noise(config, rng, frames[f].shape)
     return frames
+
+
+def synthesize_frame_batches(
+        sweeps: Sequence[Sequence[Sequence[PathComponent]]],
+        config: RadarConfig, array: UniformLinearArray,
+        ) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Synthesize several sweeps (one per request) in a single fused batch.
+
+    The batch-entry hook behind the micro-batching sensing service
+    (:mod:`repro.serve`): every request's per-frame component lists are
+    concatenated into one flat frame sequence, synthesized with a single
+    :func:`synthesize_frames` pass (one packed-component batch, one
+    beat/carrier/steering computation for *all* requests), and split back
+    into per-request ``(F_r, K, N)`` views. Because each frame's
+    contraction only reads its own contiguous component slice, every
+    returned view is bitwise identical to what a standalone
+    ``synthesize_frames`` call on that request alone would produce — the
+    fusion is pure batching, never a numerical change. Noise is left to the
+    caller (it is drawn from per-request generators; adding it in place to
+    a view updates the fused cube too, since the views are disjoint
+    windows into it).
+
+    Returns the fused ``(sum F_r, K, N)`` cube and the per-request views.
+    """
+    frame_counts = [len(sweep) for sweep in sweeps]
+    flat_frames: list[Sequence[PathComponent]] = [
+        frame for sweep in sweeps for frame in sweep
+    ]
+    fused = synthesize_frames(flat_frames, config, array, rng=None)
+    cubes: list[np.ndarray] = []
+    start = 0
+    for count in frame_counts:
+        cubes.append(fused[start:start + count])
+        start += count
+    return fused, cubes

@@ -51,7 +51,9 @@ __all__ = [
     "SweepProcessingResult",
     "batched_background_subtract",
     "batched_beamform_power",
+    "batched_lag_vectors",
     "batched_range_profiles",
+    "beamform_from_lags",
     "pipeline_backend",
     "process_sweep",
 ]
@@ -149,8 +151,30 @@ def batched_beamform_power(subtracted_cube: np.ndarray,
             f"profile cube must be (num_frames, {array.num_antennas}, "
             f"num_bins), got {cube.shape}"
         )
+    num_frames, _, num_bins = cube.shape
+    lag_vectors = batched_lag_vectors(cube, array, taper=taper)
+    power = beamform_from_lags(lag_vectors, array, angles)
+    return power.reshape(num_frames, num_bins, power.shape[-1])
+
+
+def batched_lag_vectors(subtracted_cube: np.ndarray,
+                        array: UniformLinearArray, *,
+                        taper: str | None = "hamming") -> np.ndarray:
+    """Per-cell spatial-autocorrelation lags for a whole cube, ``(F*B, 2K-1)``.
+
+    The first (lag-vector) half of :func:`batched_beamform_power`, exposed
+    as its own batch-entry hook: every row is computed independently of
+    every other row, so the serving engine can stack *several requests'*
+    subtracted cubes (same antenna count) into one call and still get, row
+    for row, exactly the values a per-request call would produce.
+    """
+    cube = np.asarray(subtracted_cube)
+    if cube.ndim != 3 or cube.shape[1] != array.num_antennas:
+        raise SignalProcessingError(
+            f"profile cube must be (num_frames, {array.num_antennas}, "
+            f"num_bins), got {cube.shape}"
+        )
     num_frames, num_antennas, num_bins = cube.shape
-    num_angles = int(np.asarray(angles).shape[0])
     rows = num_frames * num_bins
 
     # Tapered signals, laid out (F*B, K) so the lag products and the GEMM
@@ -168,11 +192,57 @@ def batched_beamform_power(subtracted_cube: np.ndarray,
                         np.conj(tapered[:, :num_antennas - m]))
         lag_vectors[:, m] = lag.real
         lag_vectors[:, num_antennas - 1 + m] = lag.imag
+    return lag_vectors
 
+
+def beamform_from_lags(lag_vectors: np.ndarray, array: UniformLinearArray,
+                       angles: np.ndarray) -> np.ndarray:
+    """Eq. 2 power from precomputed lag vectors: ``(rows, A)`` real GEMM.
+
+    The second half of :func:`batched_beamform_power`. Kept separate so a
+    caller that fused several requests' lag vectors into one array can
+    still run this thin GEMM *per request* — the output shape then depends
+    only on the request itself, which keeps served results bitwise
+    independent of how the scheduler happened to group them.
+    """
+    lags = np.asarray(lag_vectors)
+    expected = 2 * array.num_antennas - 1
+    if lags.ndim != 2 or lags.shape[1] != expected:
+        raise SignalProcessingError(
+            f"lag vectors must be (rows, {expected}), got {lags.shape}"
+        )
+    num_angles = int(np.asarray(angles).shape[0])
     basis = array.lag_power_basis(np.asarray(angles, dtype=float))
-    power = np.empty((rows, num_angles), dtype=np.float64)
-    np.matmul(lag_vectors, basis, out=power)
-    return power.reshape(num_frames, num_bins, num_angles)
+    power = np.empty((lags.shape[0], num_angles), dtype=np.float64)
+    np.matmul(lags, basis, out=power)
+    return power
+
+
+def beamform_from_lags_stacked(lag_stack: np.ndarray,
+                               array: UniformLinearArray,
+                               angles: np.ndarray) -> np.ndarray:
+    """Eq. 2 power for a stack of equal-row-count lag blocks, ``(S, rows, A)``.
+
+    The serving engine's grouped form of :func:`beamform_from_lags`: when
+    several batched requests share a row count, their per-request GEMMs
+    collapse into one stacked matmul. Each stack slice runs the identical
+    ``(rows, 2K-1) @ (2K-1, A)`` GEMM a standalone call would, so every
+    request's power map stays bitwise independent of how many batch-mates
+    it happened to share the stack with.
+    """
+    lags = np.asarray(lag_stack)
+    expected = 2 * array.num_antennas - 1
+    if lags.ndim != 3 or lags.shape[2] != expected:
+        raise SignalProcessingError(
+            f"stacked lag vectors must be (stack, rows, {expected}), "
+            f"got {lags.shape}"
+        )
+    num_angles = int(np.asarray(angles).shape[0])
+    basis = array.lag_power_basis(np.asarray(angles, dtype=float))
+    power = np.empty((lags.shape[0], lags.shape[1], num_angles),
+                     dtype=np.float64)
+    np.matmul(lags, basis, out=power)
+    return power
 
 
 @dataclasses.dataclass(frozen=True)

@@ -19,8 +19,10 @@ from repro.radar.antenna import UniformLinearArray
 from repro.radar.config import RadarConfig
 from repro.radar.batch import synthesize_frames
 from repro.radar.frontend import (
+    PathComponent,
     synthesis_backend,
     synthesize_frame,
+    synthesize_frame_naive,
     thermal_noise,
 )
 from repro.radar.pipeline import pipeline_backend, process_sweep
@@ -107,41 +109,99 @@ class FmcwRadar:
         self.config = config if config is not None else RadarConfig()
         self.array = UniformLinearArray(self.config)
 
-    def _synthesize_sweep(self, scene: Scene, times: np.ndarray,
-                          rng: np.random.Generator) -> np.ndarray:
-        """Raw beat frames for all of ``times``, shape ``(F, K, N)``.
+    def frame_times(self, duration: float,
+                    start_time: float = 0.0) -> np.ndarray:
+        """Frame capture times for a ``duration``-second sensing session.
+
+        At least two frames are always captured (background subtraction
+        needs a warmup frame). This is the single source of truth for the
+        frame grid: the direct :meth:`sense` path and the batched serving
+        engine (:mod:`repro.serve.engine`) both derive times here, so a
+        served request can never land on a different grid than a direct
+        call.
+        """
+        if duration <= 0:
+            raise TrackingError(f"duration must be positive, got {duration}")
+        num_frames = max(int(round(duration * self.config.frame_rate)), 2)
+        return start_time + np.arange(num_frames) * self.config.frame_interval
+
+    def default_max_range(self, scene: Scene) -> float:
+        """The far crop applied when a caller does not pass ``max_range``.
+
+        An eavesdropper targeting a known building crops the range axis at
+        the far walls; anything beyond is another apartment.
+        """
+        corners = np.array([
+            [scene.room.x_min, scene.room.y_min],
+            [scene.room.x_min, scene.room.y_max],
+            [scene.room.x_max, scene.room.y_min],
+            [scene.room.x_max, scene.room.y_max],
+        ])
+        return float(
+            np.linalg.norm(corners - self.array.position, axis=1).max()
+        ) + 0.5
+
+    def sweep_components(self, scene: Scene, times: np.ndarray,
+                         rng: np.random.Generator,
+                         ) -> tuple[list[list[PathComponent]],
+                                    np.ndarray | None]:
+        """Per-frame scene components and thermal noise for a whole sweep.
 
         The scene is queried and noise is drawn frame-by-frame in time
         order — exactly the generator call sequence of the historical
-        per-frame loop — so a fixed seed reproduces bit-for-bit under both
-        ``RF_PROTECT_SYNTH`` backends and across this batched path.
+        per-frame loop — so a fixed seed reproduces bit-for-bit whether the
+        frames are then synthesized one by one, as one batched sweep, or
+        fused into a larger multi-request batch by the serving engine.
+
+        Returns the per-frame component lists and, when the config has a
+        positive noise floor, the matching ``(F, K, N)`` noise stack
+        (``None`` otherwise).
         """
-        if synthesis_backend() == "naive":
-            return np.stack([
-                synthesize_frame(scene.path_components(float(t), self.array, rng),
-                                 self.config, self.array, rng)
-                for t in times
-            ])
         shape = (self.config.num_antennas, self.config.chirp.num_samples)
         add_noise = self.config.noise_std > 0
-        components_per_frame = []
-        noise = []
+        emitter = scene.sweep_emitter(self.array)
+        components_per_frame: list[list[PathComponent]] = []
+        noise: list[np.ndarray] = []
         for t in times:
-            components_per_frame.append(
-                scene.path_components(float(t), self.array, rng)
-            )
+            components_per_frame.append(emitter.components_at(float(t), rng))
             if add_noise:
                 noise.append(thermal_noise(self.config, rng, shape))
+        return components_per_frame, (np.stack(noise) if add_noise else None)
+
+    def _synthesize_sweep(self, scene: Scene, times: np.ndarray,
+                          rng: np.random.Generator,
+                          backend: str | None = None) -> np.ndarray:
+        """Raw beat frames for all of ``times``, shape ``(F, K, N)``.
+
+        ``backend`` overrides the ``RF_PROTECT_SYNTH`` dispatch (the serving
+        engine's naive-fallback path forces ``"naive"`` without touching
+        process environment).
+        """
+        if backend == "naive" or (backend is None
+                                  and synthesis_backend() == "naive"):
+            # Per-frame reference kernel. Forced "naive" pins the kernel
+            # directly (the env dispatch inside `synthesize_frame` must not
+            # be able to route a fallback back onto the failed engine).
+            kernel = (synthesize_frame_naive if backend == "naive"
+                      else synthesize_frame)
+            return np.stack([
+                kernel(scene.path_components(float(t), self.array, rng),
+                       self.config, self.array, rng)
+                for t in times
+            ])
+        components_per_frame, noise = self.sweep_components(scene, times, rng)
         frames = synthesize_frames(components_per_frame, self.config,
                                    self.array, rng=None)
-        if add_noise:
-            frames += np.stack(noise)
+        if noise is not None:
+            frames += noise
         return frames
 
     def sense(self, scene: Scene, duration: float, *,
               rng: np.random.Generator | None = None,
               start_time: float = 0.0,
-              max_range: float | None = None) -> SensingResult:
+              max_range: float | None = None,
+              synth: str | None = None,
+              pipeline: str | None = None) -> SensingResult:
         """Capture ``duration`` seconds of frames from ``scene``.
 
         Args:
@@ -152,29 +212,23 @@ class FmcwRadar:
             start_time: scene time of the first frame.
             max_range: optional crop of the range axis (defaults to the
                 room's diagonal — reflections can't be farther than that).
+            synth: override of the ``RF_PROTECT_SYNTH`` dispatch for this
+                call (``"naive"``/``"vectorized"``); ``None`` follows the
+                environment. The serving engine's degradation path forces
+                ``"naive"`` here per call instead of mutating process env.
+            pipeline: same override for ``RF_PROTECT_PIPELINE``.
         """
-        if duration <= 0:
-            raise TrackingError(f"duration must be positive, got {duration}")
         if rng is None:
             rng = np.random.default_rng(0)
         if max_range is None:
-            # An eavesdropper targeting a known building crops the range
-            # axis at the far walls; anything beyond is another apartment.
-            corners = np.array([
-                [scene.room.x_min, scene.room.y_min],
-                [scene.room.x_min, scene.room.y_max],
-                [scene.room.x_max, scene.room.y_min],
-                [scene.room.x_max, scene.room.y_max],
-            ])
-            max_range = float(
-                np.linalg.norm(corners - self.array.position, axis=1).max()
-            ) + 0.5
+            max_range = self.default_max_range(scene)
 
-        num_frames = max(int(round(duration * self.config.frame_rate)), 2)
-        times = start_time + np.arange(num_frames) * self.config.frame_interval
-        frames = self._synthesize_sweep(scene, times, rng)
+        times = self.frame_times(duration, start_time)
+        frames = self._synthesize_sweep(scene, times, rng, backend=synth)
 
-        if pipeline_backend() == "naive":
+        if pipeline is None:
+            pipeline = pipeline_backend()
+        if pipeline == "naive":
             profiles, raw_profiles = self._process_sweep_naive(
                 times, frames, max_range
             )

@@ -21,7 +21,8 @@ from repro.radar.channel import ChannelModel
 from repro.radar.frontend import PathComponent
 from repro.types import Trajectory
 
-__all__ = ["BreathingSpec", "Fan", "HumanTarget", "Scene", "SceneEntity", "StaticReflector"]
+__all__ = ["BreathingSpec", "Fan", "HumanTarget", "Scene", "SceneEntity",
+           "StaticReflector", "SweepEmitter"]
 
 _MIN_ANGLE = 1e-3
 
@@ -33,7 +34,13 @@ class SceneEntity(Protocol):
     def path_components(self, t: float, array: UniformLinearArray,
                         channel: ChannelModel,
                         rng: np.random.Generator) -> list[PathComponent]:
-        """Paths this entity contributes to the frame captured at time ``t``."""
+        """Paths this entity contributes to the frame captured at time ``t``.
+
+        An entity whose components depend neither on ``t`` nor on ``rng``
+        may additionally declare a class attribute ``time_invariant = True``;
+        sweep emission then evaluates it once per sweep instead of once per
+        frame (see :class:`SweepEmitter`).
+        """
         ...
 
 
@@ -114,6 +121,10 @@ class StaticReflector:
     (Sec. 3, "Addressing Static Reflectors") removes them exactly; they are
     included to make that stage do real work.
     """
+
+    # Components ignore both ``t`` and ``rng``: sweep emission may evaluate
+    # this entity once and reuse the result for every frame.
+    time_invariant = True
 
     def __init__(self, position: tuple[float, float] | np.ndarray, *,
                  rcs: float = 1.0) -> None:
@@ -222,6 +233,10 @@ class Scene:
             components.extend(entity.path_components(t, array, self.channel, rng))
         return components
 
+    def sweep_emitter(self, array: UniformLinearArray) -> SweepEmitter:
+        """A per-sweep emission cursor over this scene (memoized statics)."""
+        return SweepEmitter(self, array)
+
     def path_components_sweep(self, times: np.ndarray,
                               array: UniformLinearArray,
                               rng: np.random.Generator,
@@ -234,4 +249,41 @@ class Scene:
         frame — seeds reproduce bit-for-bit across the naive and batched
         sensing paths.
         """
-        return [self.path_components(float(t), array, rng) for t in times]
+        emitter = self.sweep_emitter(array)
+        return [emitter.components_at(float(t), rng) for t in times]
+
+
+class SweepEmitter:
+    """Per-sweep emission cursor that memoizes time-invariant entities.
+
+    Static clutter contributes the identical tones to every frame (its
+    ``path_components`` ignores both ``t`` and ``rng``), so a sweep only
+    needs to evaluate it once; entities opt in by declaring
+    ``time_invariant = True``. Everything else is still queried frame by
+    frame in entity order, so the generator stream — and therefore every
+    synthesized sample — is bit-identical to the memo-free per-frame loop.
+    """
+
+    def __init__(self, scene: Scene, array: UniformLinearArray) -> None:
+        self._scene = scene
+        self._array = array
+        self._memo: dict[int, list[PathComponent]] = {}
+
+    def components_at(self, t: float,
+                      rng: np.random.Generator) -> list[PathComponent]:
+        """All paths visible at frame time ``t``."""
+        scene = self._scene
+        components: list[PathComponent] = []
+        for index, entity in enumerate(scene.entities):
+            if getattr(entity, "time_invariant", False):
+                cached = self._memo.get(index)
+                if cached is None:
+                    cached = entity.path_components(t, self._array,
+                                                    scene.channel, rng)
+                    self._memo[index] = cached
+                components.extend(cached)
+            else:
+                components.extend(
+                    entity.path_components(t, self._array, scene.channel, rng)
+                )
+        return components

@@ -1,0 +1,234 @@
+"""Batch execution: a key-homogeneous group of requests -> sensing results.
+
+This is the synchronous compute half of the service (the scheduler half
+lives in :mod:`repro.serve.service`); workers call :func:`execute_batch`
+from the executor thread pool. The fused path rides the PR 1/PR 3
+vectorized engines end to end:
+
+1. **Emission** — each request's scene components and thermal noise are
+   drawn frame-by-frame from that request's *own* seeded generator, in the
+   exact draw order of a direct ``FmcwRadar.sense`` call, so batching can
+   never perturb a request's random stream.
+2. **Fused synthesis** — all requests' frames go through *one*
+   :func:`~repro.radar.batch.synthesize_frame_batches` call: one packed
+   component batch, one beat/carrier/steering pass, per-frame contractions
+   that each read only their own slice.
+3. **Fused receive** — one blocked range FFT over the concatenated cube,
+   one shared range-crop mask (equal ``BatchKey`` guarantees equal crop),
+   one shifted-difference background subtraction with each request's first
+   frame re-zeroed (frame 0 of a request has no predecessor — exactly the
+   reference warmup), and one cube-wide lag-vector pass. Only the final
+   thin GEMM (:func:`~repro.radar.pipeline.beamform_from_lags_stacked`)
+   keeps per-request shape: requests with equal frame counts share one
+   stacked matmul whose slices are exactly the per-request GEMMs, so every
+   output has shapes that depend only on the request itself — results are
+   bitwise independent of how the scheduler grouped them.
+
+If anything in the fused path raises, :func:`execute_batch` degrades
+gracefully: each request is retried alone on the reference kernels
+(``synth="naive", pipeline="naive"``), isolating a poisoned request while
+the rest of the batch still completes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import logging
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.radar.batch import synthesize_frame_batches
+from repro.radar.config import RadarConfig
+from repro.radar.pipeline import (
+    SweepProcessingResult,
+    batched_background_subtract,
+    batched_lag_vectors,
+    batched_range_profiles,
+    beamform_from_lags_stacked,
+)
+from repro.radar.processing import ZERO_PAD_FACTOR, range_keep_mask
+from repro.radar.radar import FmcwRadar, SensingResult
+from repro.serve.request import (
+    BACKEND_NAIVE_FALLBACK,
+    BACKEND_VECTORIZED,
+    BatchKey,
+    SenseRequest,
+)
+from repro.signal.spectral import range_axis
+
+__all__ = [
+    "ExecutionItem",
+    "ExecutionOutcome",
+    "execute_batch",
+    "radar_for",
+]
+
+logger = logging.getLogger(__name__)
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecutionItem:
+    """One admitted request handed to the execution engine."""
+
+    request_id: int
+    request: SenseRequest
+    key: BatchKey
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecutionOutcome:
+    """What the engine produced for one item: a result or an error."""
+
+    request_id: int
+    result: SensingResult | None
+    backend: str
+    error: BaseException | None = None
+
+
+@functools.lru_cache(maxsize=64)
+def radar_for(config: RadarConfig) -> FmcwRadar:
+    """A shared radar facade per distinct configuration.
+
+    ``FmcwRadar`` is immutable after construction (config + array
+    geometry), so one instance can serve every request and executor thread
+    with that configuration; caching it keeps per-request admission cheap
+    and reuses the array's process-wide steering/taper/lag-basis memos.
+    """
+    return FmcwRadar(config)
+
+
+def _run_group_vectorized(key: BatchKey,
+                          items: Sequence[ExecutionItem],
+                          ) -> list[SensingResult]:
+    """The fused vectorized path for one key-homogeneous group."""
+    config = key.config
+    radar = radar_for(config)
+
+    sweeps = []
+    noises = []
+    times_list = []
+    for item in items:
+        request = item.request
+        rng = np.random.default_rng(request.seed)
+        times = radar.frame_times(request.duration, request.start_time)
+        components, noise = radar.sweep_components(request.scene, times, rng)
+        sweeps.append(components)
+        noises.append(noise)
+        times_list.append(times)
+    frame_counts = [len(times) for times in times_list]
+
+    fused, cubes = synthesize_frame_batches(sweeps, config, radar.array)
+    for cube, noise in zip(cubes, noises):
+        if noise is not None:
+            cube += noise  # disjoint views: writes land in `fused`
+
+    raw_profiles = batched_range_profiles(fused, config)
+
+    full_ranges = range_axis(config.chirp, zero_pad_factor=ZERO_PAD_FACTOR)
+    keep = range_keep_mask(full_ranges, min_range=config.min_range,
+                           max_range=key.max_range)
+    ranges = full_ranges[keep]
+    ranges.flags.writeable = False
+    angles = config.angle_grid()
+    angles.flags.writeable = False
+
+    kept_profiles = np.ascontiguousarray(raw_profiles[:, :, keep])
+    subtracted = batched_background_subtract(kept_profiles)
+    # A request's first frame has no predecessor inside *its* sweep; the
+    # cube-wide shifted difference must not leak the previous request's
+    # last frame across the boundary.
+    starts = np.cumsum([0, *frame_counts[:-1]])
+    subtracted[starts] = 0.0
+
+    lag_vectors = batched_lag_vectors(subtracted, radar.array)
+
+    num_bins = int(ranges.shape[0])
+    num_angles = int(angles.shape[0])
+
+    # Per-request-shaped GEMMs: each output's shape depends only on its own
+    # request, keeping results bitwise independent of the batch grouping.
+    # Requests with equal frame counts share one stacked matmul whose
+    # slices are exactly those per-request GEMMs.
+    frame_offsets = np.concatenate(([0], np.cumsum(frame_counts)))
+    by_frame_count: dict[int, list[int]] = {}
+    for i, count in enumerate(frame_counts):
+        by_frame_count.setdefault(count, []).append(i)
+    power_cubes: dict[int, np.ndarray] = {}
+    for num_frames, group in by_frame_count.items():
+        rows = num_frames * num_bins
+        stack = np.stack([
+            lag_vectors[frame_offsets[i] * num_bins:
+                        frame_offsets[i] * num_bins + rows]
+            for i in group
+        ])
+        power = beamform_from_lags_stacked(stack, radar.array, angles)
+        for slot, i in enumerate(group):
+            cube = power[slot].reshape(num_frames, num_bins, num_angles)
+            cube.flags.writeable = False
+            power_cubes[i] = cube
+
+    results: list[SensingResult] = []
+    for i, times in enumerate(times_list):
+        frame_slice = slice(int(frame_offsets[i]), int(frame_offsets[i + 1]))
+        raw_slice = raw_profiles[frame_slice]
+        sweep = SweepProcessingResult(raw_profiles=raw_slice,
+                                      power_cube=power_cubes[i],
+                                      ranges=ranges, angles=angles,
+                                      times=times)
+        results.append(SensingResult(times=times, profiles=sweep.profiles(),
+                                     raw_profiles=raw_slice, config=config,
+                                     array=radar.array))
+    return results
+
+
+def _run_single_naive(item: ExecutionItem) -> SensingResult:
+    """The degradation path: one request on the reference kernels."""
+    request = item.request
+    radar = radar_for(item.key.config)
+    rng = np.random.default_rng(request.seed)
+    return radar.sense(request.scene, request.duration, rng=rng,
+                       start_time=request.start_time,
+                       max_range=item.key.max_range,
+                       synth="naive", pipeline="naive")
+
+
+def execute_batch(items: Sequence[ExecutionItem]) -> list[ExecutionOutcome]:
+    """Execute one flushed batch; never raises, reports per-item outcomes.
+
+    Tries the fused vectorized path for the whole group first; on any
+    failure, degrades to per-request naive execution so a single poisoned
+    request cannot take its batch-mates down with it.
+    """
+    if not items:
+        return []
+    key = items[0].key
+    if any(item.key != key for item in items):
+        raise ValueError("execute_batch requires a key-homogeneous batch")
+    try:
+        results = _run_group_vectorized(key, items)
+    except Exception as error:
+        logger.warning(
+            "vectorized batch path failed for %d request(s) (%s: %s); "
+            "degrading to the naive backend",
+            len(items), type(error).__name__, error,
+        )
+        return [_fallback_outcome(item) for item in items]
+    return [
+        ExecutionOutcome(request_id=item.request_id, result=result,
+                         backend=BACKEND_VECTORIZED)
+        for item, result in zip(items, results)
+    ]
+
+
+def _fallback_outcome(item: ExecutionItem) -> ExecutionOutcome:
+    try:
+        result = _run_single_naive(item)
+    except Exception as error:  # surfaced per request, not swallowed
+        logger.warning("naive fallback failed for request %d (%s: %s)",
+                       item.request_id, type(error).__name__, error)
+        return ExecutionOutcome(request_id=item.request_id, result=None,
+                                backend=BACKEND_NAIVE_FALLBACK, error=error)
+    return ExecutionOutcome(request_id=item.request_id, result=result,
+                            backend=BACKEND_NAIVE_FALLBACK)

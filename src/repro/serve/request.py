@@ -1,0 +1,114 @@
+"""Request/response shapes of the sensing service.
+
+A :class:`SenseRequest` is everything one caller wants sensed: a scene, the
+radar configuration to sense it with, a sensing span, a seed (the *only*
+source of randomness — the service never draws from hidden state), and an
+optional per-request deadline. Requests whose radar configuration and range
+crop agree share a :class:`BatchKey`; the scheduler only coalesces requests
+with equal keys, because only those can ride the same vectorized
+synthesis/receive passes (same chirp grid, same antenna count, same kept
+range bins).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+from repro.radar.config import RadarConfig
+from repro.radar.radar import SensingResult
+from repro.radar.scene import Scene
+
+__all__ = [
+    "BACKEND_NAIVE_FALLBACK",
+    "BACKEND_VECTORIZED",
+    "BatchKey",
+    "SenseRequest",
+    "SenseResponse",
+]
+
+
+#: How a served request was ultimately executed.
+BACKEND_VECTORIZED = "vectorized"
+BACKEND_NAIVE_FALLBACK = "naive-fallback"
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchKey:
+    """The compatibility class of a request: what may share its batch.
+
+    Two requests with equal keys produce beat cubes on the same sample grid
+    with the same antenna count and crop to the same range bins, so their
+    frames can be concatenated through one fused synthesis + receive pass.
+    ``RadarConfig`` is a frozen dataclass of floats/tuples, so value
+    equality (not object identity) defines the grouping.
+    """
+
+    config: RadarConfig
+    max_range: float
+
+
+@dataclasses.dataclass(frozen=True)
+class SenseRequest:
+    """One sensing job submitted to the service.
+
+    Attributes:
+        scene: the room and its entities to sense.
+        duration: sensing span in seconds (must be positive).
+        seed: seed of the per-request ``np.random.Generator``; fixed seed
+            in, bitwise-identical :class:`SensingResult` out, regardless of
+            arrival order or batch grouping.
+        config: radar configuration; ``None`` uses the service's default.
+        start_time: scene time of the first frame.
+        max_range: optional far crop of the range axis; ``None`` derives
+            the room-diagonal default exactly like ``FmcwRadar.sense``.
+        deadline_s: per-request deadline budget in seconds from admission;
+            ``None`` uses the service default. Work still queued when the
+            deadline passes is cancelled, never executed.
+    """
+
+    scene: Scene
+    duration: float
+    seed: int = 0
+    config: RadarConfig | None = None
+    start_time: float = 0.0
+    max_range: float | None = None
+    deadline_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ConfigurationError(
+                f"sense duration must be positive, got {self.duration}"
+            )
+        if self.max_range is not None and self.max_range <= 0:
+            raise ConfigurationError(
+                f"max_range must be positive, got {self.max_range}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ConfigurationError(
+                f"deadline_s must be positive, got {self.deadline_s}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class SenseResponse:
+    """A completed request: the sensing result plus serving telemetry.
+
+    Attributes:
+        request_id: admission-ordered id assigned by the service.
+        result: the :class:`SensingResult`, bitwise identical to a direct
+            ``FmcwRadar.sense`` call with the same request parameters.
+        backend: ``"vectorized"`` for the fused batch path or
+            ``"naive-fallback"`` when the service degraded to the reference
+            kernels after a vectorized failure.
+        batch_size: how many requests shared this request's batch.
+        queued_s: admission -> execution-start wait, seconds.
+        total_s: admission -> completion latency, seconds.
+    """
+
+    request_id: int
+    result: SensingResult
+    backend: str
+    batch_size: int
+    queued_s: float
+    total_s: float

@@ -1,0 +1,397 @@
+"""The asyncio sensing service: admission, scheduling, execution, telemetry.
+
+:class:`SenseService` is the event-loop half of the serving stack. It wires
+the pure :class:`~repro.serve.batcher.MicroBatcher` policy to real time and
+real compute:
+
+- **Admission control** — a bounded number of requests may wait for
+  execution; beyond ``queue_depth``, submissions fail fast with
+  :class:`~repro.errors.ServiceOverloadedError` instead of growing an
+  unbounded backlog (load shedding, not buffering).
+- **Micro-batching** — admitted requests coalesce per
+  :class:`~repro.serve.request.BatchKey`; a batch flushes when it reaches
+  ``max_batch_size`` or when its first request has waited
+  ``batch_window_ms`` (a background flusher task polls the batcher).
+- **Bounded worker pool** — ``workers`` asyncio workers pull flushed
+  batches from a queue and run them on a thread pool (numpy releases the
+  GIL in the kernels that matter), so the event loop never blocks on
+  compute.
+- **Deadlines and cancellation** — every request carries a deadline from
+  admission; a request whose deadline passes while it is still queued is
+  failed with :class:`~repro.errors.DeadlineExceededError` *before* any
+  compute is spent on it, and a caller that cancels its future simply
+  never gets resolved (its batch-mates are unaffected).
+- **Graceful degradation** — execution is delegated to
+  :func:`repro.serve.engine.execute_batch`, which falls back to the naive
+  reference kernels per request if the fused vectorized path raises; the
+  fallback is visible in the ``batches.fallback`` counter and each
+  response's ``backend`` field.
+
+Everything the service does is observable through its
+:class:`~repro.serve.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import logging
+from collections.abc import Callable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.config import (
+    get_serve_batch_window_ms,
+    get_serve_deadline_s,
+    get_serve_max_batch,
+    get_serve_queue_depth,
+    get_serve_workers,
+)
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    ServeError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from repro.radar.config import RadarConfig
+from repro.serve.batcher import Batch, MicroBatcher
+from repro.serve.engine import ExecutionItem, ExecutionOutcome, execute_batch, radar_for
+from repro.serve.metrics import (
+    BATCH_SIZE_BUCKETS,
+    LATENCY_BUCKETS_S,
+    MetricsRegistry,
+)
+from repro.serve.request import (
+    BACKEND_VECTORIZED,
+    BatchKey,
+    SenseRequest,
+    SenseResponse,
+)
+
+__all__ = ["SenseService", "ServiceConfig"]
+
+logger = logging.getLogger(__name__)
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceConfig:
+    """Scheduling knobs of the sensing service.
+
+    Attributes:
+        max_batch_size: flush a batch as soon as it holds this many
+            requests.
+        batch_window_ms: flush a batch once its first request has waited
+            this long, even if it is not full. Zero disables coalescing.
+        queue_depth: maximum requests admitted but not yet executing;
+            submissions beyond this are rejected.
+        default_deadline_s: deadline applied to requests that do not carry
+            their own.
+        workers: concurrent batch executions (asyncio workers, each backed
+            by one thread-pool slot).
+    """
+
+    max_batch_size: int = 32
+    batch_window_ms: float = 2.0
+    queue_depth: int = 256
+    default_deadline_s: float = 30.0
+    workers: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ConfigurationError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}"
+            )
+        if self.batch_window_ms < 0:
+            raise ConfigurationError(
+                f"batch_window_ms must be >= 0, got {self.batch_window_ms}"
+            )
+        if self.queue_depth < 1:
+            raise ConfigurationError(
+                f"queue_depth must be >= 1, got {self.queue_depth}"
+            )
+        if self.default_deadline_s <= 0:
+            raise ConfigurationError(
+                f"default_deadline_s must be positive, "
+                f"got {self.default_deadline_s}"
+            )
+        if self.workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1, got {self.workers}"
+            )
+
+    @property
+    def batch_window_s(self) -> float:
+        return self.batch_window_ms / 1000.0
+
+    @classmethod
+    def from_env(cls) -> ServiceConfig:
+        """Build from the typed ``RF_PROTECT_SERVE_*`` registry knobs."""
+        return cls(
+            max_batch_size=get_serve_max_batch(),
+            batch_window_ms=get_serve_batch_window_ms(),
+            queue_depth=get_serve_queue_depth(),
+            default_deadline_s=get_serve_deadline_s(),
+            workers=get_serve_workers(),
+        )
+
+
+@dataclasses.dataclass(eq=False)
+class _Pending:
+    """One admitted request waiting for (or in) execution."""
+
+    request_id: int
+    request: SenseRequest
+    key: BatchKey
+    future: asyncio.Future[SenseResponse]
+    admitted_at: float
+    deadline_at: float
+
+
+ExecuteFn = Callable[[Sequence[ExecutionItem]], list[ExecutionOutcome]]
+
+
+class SenseService:
+    """Async micro-batching front of the FMCW sensing engine.
+
+    Use as an async context manager, or call :meth:`start` / :meth:`stop`
+    explicitly. All methods must run on the event loop that ``start`` ran
+    on; cross-thread callers should go through
+    :class:`repro.serve.client.InProcessClient`.
+
+    Args:
+        config: scheduling knobs; ``None`` reads the ``RF_PROTECT_SERVE_*``
+            environment registry.
+        default_radar_config: radar configuration applied to requests that
+            do not carry their own.
+        metrics: telemetry registry to record into; ``None`` creates a
+            private one (exposed as :attr:`metrics`).
+        execute: batch-execution callable, overridable for tests; defaults
+            to :func:`repro.serve.engine.execute_batch`.
+    """
+
+    def __init__(self, config: ServiceConfig | None = None, *,
+                 default_radar_config: RadarConfig | None = None,
+                 metrics: MetricsRegistry | None = None,
+                 execute: ExecuteFn | None = None) -> None:
+        self.config = config if config is not None else ServiceConfig.from_env()
+        self.default_radar_config = (
+            default_radar_config if default_radar_config is not None
+            else RadarConfig()
+        )
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._execute: ExecuteFn = execute if execute is not None else execute_batch
+        self._batcher: MicroBatcher[BatchKey, _Pending] = MicroBatcher(
+            max_batch_size=self.config.max_batch_size,
+            window_s=self.config.batch_window_s,
+        )
+        self._running = False
+        self._next_id = 0
+        self._waiting = 0
+        self._queue: asyncio.Queue[Batch[BatchKey, _Pending]] | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._tasks: list[asyncio.Task[None]] = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind to the running loop and spawn the flusher/worker tasks."""
+        if self._running:
+            return
+        self._queue = asyncio.Queue()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="rfprotect-serve",
+        )
+        self._running = True
+        self._tasks = [asyncio.create_task(self._flush_loop(),
+                                           name="serve-flusher")]
+        self._tasks.extend(
+            asyncio.create_task(self._worker_loop(), name=f"serve-worker-{i}")
+            for i in range(self.config.workers)
+        )
+
+    async def stop(self) -> None:
+        """Drain held batches, finish queued work, and shut down."""
+        if not self._running:
+            return
+        self._running = False
+        assert self._queue is not None and self._executor is not None
+        loop = asyncio.get_running_loop()
+        for batch in self._batcher.drain(loop.time()):
+            self._queue.put_nowait(batch)
+        await self._queue.join()
+        for task in self._tasks:
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks = []
+        self._executor.shutdown(wait=True)
+        self._executor = None
+        self._queue = None
+
+    async def __aenter__(self) -> SenseService:
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop()
+
+    # -- admission ---------------------------------------------------------
+
+    def batch_key_for(self, request: SenseRequest) -> BatchKey:
+        """The compatibility key this request would be grouped under."""
+        config = (request.config if request.config is not None
+                  else self.default_radar_config)
+        max_range = (request.max_range if request.max_range is not None
+                     else radar_for(config).default_max_range(request.scene))
+        return BatchKey(config=config, max_range=float(max_range))
+
+    async def submit(self, request: SenseRequest) -> SenseResponse:
+        """Admit one request and await its result.
+
+        Raises:
+            ServiceClosedError: the service is not running.
+            ServiceOverloadedError: the admission queue is full.
+            DeadlineExceededError: the deadline expired before execution.
+            ServeError subclasses from execution failures.
+        """
+        if not self._running or self._queue is None:
+            self.metrics.inc("requests.rejected")
+            raise ServiceClosedError(
+                "sense request submitted to a service that is not running"
+            )
+        if self._waiting >= self.config.queue_depth:
+            self.metrics.inc("requests.rejected")
+            raise ServiceOverloadedError(
+                f"admission queue is full "
+                f"({self._waiting}/{self.config.queue_depth} waiting)"
+            )
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        deadline_s = (request.deadline_s if request.deadline_s is not None
+                      else self.config.default_deadline_s)
+        pending = _Pending(
+            request_id=self._next_id,
+            request=request,
+            key=self.batch_key_for(request),
+            future=loop.create_future(),
+            admitted_at=now,
+            deadline_at=now + deadline_s,
+        )
+        self._next_id += 1
+        self._set_waiting(self._waiting + 1)
+        self.metrics.inc("requests.submitted")
+        full = self._batcher.add(pending.key, pending, now)
+        if full is not None:
+            self._queue.put_nowait(full)
+        return await pending.future
+
+    def _set_waiting(self, value: int) -> None:
+        self._waiting = value
+        self.metrics.set_gauge("queue.depth", float(value))
+
+    # -- scheduling --------------------------------------------------------
+
+    async def _flush_loop(self) -> None:
+        """Poll the batcher for window-expired groups."""
+        tick = max(self.config.batch_window_s / 4.0, 0.001)
+        assert self._queue is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            for batch in self._batcher.due(loop.time()):
+                self._queue.put_nowait(batch)
+            await asyncio.sleep(tick)
+
+    async def _worker_loop(self) -> None:
+        """Pull flushed batches and execute them off-loop."""
+        assert self._queue is not None
+        queue = self._queue
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = await queue.get()
+            try:
+                await self._run_batch(loop, batch)
+            except Exception as error:
+                # A worker must survive anything a batch throws at it, and
+                # no caller may be left awaiting forever: fail whatever
+                # futures the batch still holds open.
+                logger.exception("serve worker failed on a batch")
+                for pending in batch.items:
+                    if not pending.future.done():
+                        self.metrics.inc("requests.failed")
+                        pending.future.set_exception(ServeError(
+                            f"batch execution failed: {error}"
+                        ))
+            finally:
+                queue.task_done()
+
+    async def _run_batch(self, loop: asyncio.AbstractEventLoop,
+                         batch: Batch[BatchKey, _Pending]) -> None:
+        started_at = loop.time()
+        live: list[_Pending] = []
+        for pending in batch.items:
+            if pending.future.done():
+                # Cancelled by the caller while queued: drop silently.
+                self._set_waiting(self._waiting - 1)
+            elif pending.deadline_at <= started_at:
+                self._set_waiting(self._waiting - 1)
+                self.metrics.inc("requests.expired")
+                pending.future.set_exception(DeadlineExceededError(
+                    f"request {pending.request_id} expired after "
+                    f"{started_at - pending.admitted_at:.3f}s in queue "
+                    f"(deadline was "
+                    f"{pending.deadline_at - pending.admitted_at:.3f}s)"
+                ))
+            else:
+                live.append(pending)
+        if not live:
+            return
+        for pending in live:
+            self._set_waiting(self._waiting - 1)
+        self.metrics.observe("batch.size", float(len(live)),
+                             bounds=BATCH_SIZE_BUCKETS)
+
+        items = [
+            ExecutionItem(request_id=pending.request_id,
+                          request=pending.request, key=pending.key)
+            for pending in live
+        ]
+        assert self._executor is not None
+        outcomes = await loop.run_in_executor(
+            self._executor, self._execute, items
+        )
+        finished_at = loop.time()
+
+        self.metrics.inc("batches.executed")
+        by_id = {outcome.request_id: outcome for outcome in outcomes}
+        if any(outcome.backend != BACKEND_VECTORIZED for outcome in outcomes):
+            self.metrics.inc("batches.fallback")
+        for pending in live:
+            if pending.future.done():
+                continue
+            outcome = by_id.get(pending.request_id)
+            if outcome is None or (outcome.result is None
+                                   and outcome.error is None):
+                self.metrics.inc("requests.failed")
+                pending.future.set_exception(ServeError(
+                    f"request {pending.request_id} produced no outcome"
+                ))
+            elif outcome.error is not None or outcome.result is None:
+                self.metrics.inc("requests.failed")
+                assert outcome.error is not None
+                pending.future.set_exception(outcome.error)
+            else:
+                queued_s = started_at - pending.admitted_at
+                total_s = finished_at - pending.admitted_at
+                self.metrics.inc("requests.completed")
+                self.metrics.observe("request.queued_s", queued_s,
+                                     bounds=LATENCY_BUCKETS_S)
+                self.metrics.observe("request.latency_s", total_s,
+                                     bounds=LATENCY_BUCKETS_S)
+                pending.future.set_result(SenseResponse(
+                    request_id=pending.request_id,
+                    result=outcome.result,
+                    backend=outcome.backend,
+                    batch_size=len(live),
+                    queued_s=queued_s,
+                    total_s=total_s,
+                ))

@@ -1,0 +1,22 @@
+"""Bad: blocking calls inside ``async def`` bodies (RFP008)."""
+
+import subprocess
+import time
+from pathlib import Path
+
+
+async def poll_status() -> None:
+    time.sleep(0.1)
+
+
+async def load_manifest(path: Path) -> str:
+    return path.read_text(encoding="utf-8")
+
+
+async def dump_log(path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("done")
+
+
+async def shell_out() -> None:
+    subprocess.run(["true"], check=True)

@@ -1,0 +1,22 @@
+"""Good: coroutines keep blocking work off the event loop (RFP008)."""
+
+import asyncio
+import time
+
+
+async def poll_status() -> None:
+    await asyncio.sleep(0.1)
+
+
+async def load_manifest(path: str) -> str:
+    def read() -> str:
+        with open(path, "r", encoding="utf-8") as handle:
+            return handle.read()
+
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, read)
+
+
+def warm_up() -> None:
+    # Synchronous functions may block: they run on executor threads.
+    time.sleep(0.0)

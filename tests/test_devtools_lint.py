@@ -42,6 +42,7 @@ RULE_DISPLAY_PATHS = {
     "RFP005": "src/repro/module.py",
     "RFP006": "src/repro/module.py",
     "RFP007": "tests/test_module.py",
+    "RFP008": "src/repro/serve/module.py",
 }
 
 RULE_IDS = sorted(RULE_DISPLAY_PATHS)
@@ -53,7 +54,7 @@ def lint_fixture(name: str, display_path: str):
 
 
 class TestRegistry:
-    def test_all_seven_rules_registered(self):
+    def test_all_eight_rules_registered(self):
         assert sorted(all_rules()) == RULE_IDS
 
     def test_rules_have_docs_and_titles(self):
@@ -127,6 +128,11 @@ class TestScoping:
         text = (FIXTURES / "rfp007_bad.py").read_text(encoding="utf-8")
         assert lint_source(text, "tests/test_module.py")
         assert lint_source(text, "src/repro/module.py") == []
+
+    def test_rfp008_scoped_to_serve(self):
+        text = (FIXTURES / "rfp008_bad.py").read_text(encoding="utf-8")
+        assert lint_source(text, "src/repro/serve/module.py")
+        assert lint_source(text, "src/repro/radar/module.py") == []
 
     def test_fixture_corpus_excluded_from_directory_walk(self):
         result = lint_paths([str(REPO_ROOT / "tests")], LintConfig())

@@ -42,6 +42,7 @@ class TestExamplesRun:
         "breathing_spoof.py",
         "legitimate_sensing.py",
         "pulsed_radar_defense.py",
+        "serving_demo.py",
     ])
     def test_example_runs(self, script, capsys, monkeypatch):
         monkeypatch.setattr(sys, "argv", [script])

@@ -1,0 +1,159 @@
+"""Property tests for the micro-batching scheduler core (``MicroBatcher``).
+
+The batcher is deliberately pure (explicit timestamps, no clock, no
+asyncio), so hypothesis can drive it through arbitrary arrival patterns and
+prove the conservation laws the service relies on:
+
+- nothing is lost and nothing is duplicated: every admitted item appears in
+  exactly one flushed batch (unless explicitly removed, in which case it
+  appears in none);
+- no batch ever exceeds ``max_batch_size``, and every batch is
+  key-homogeneous;
+- a ``"size"``-flushed batch is exactly full; a ``"window"``-flushed batch
+  was held at least ``window_s`` (for positive windows);
+- the same event sequence always produces the identical batch sequence
+  (the scheduler itself is deterministic).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.batcher import Batch, MicroBatcher
+
+KEYS = ("alpha", "beta", "gamma")
+
+
+@dataclasses.dataclass(frozen=True)
+class Arrival:
+    key: str
+    gap_s: float  # time since the previous event
+    poll_before: bool  # run a due() poll before this add
+
+
+arrivals = st.lists(
+    st.builds(
+        Arrival,
+        key=st.sampled_from(KEYS),
+        gap_s=st.floats(min_value=0.0, max_value=0.5, allow_nan=False,
+                        allow_infinity=False),
+        poll_before=st.booleans(),
+    ),
+    max_size=60,
+)
+
+batcher_params = st.tuples(
+    st.integers(min_value=1, max_value=5),          # max_batch_size
+    st.sampled_from([0.0, 0.01, 0.1, 1.0]),         # window_s
+)
+
+
+def run_schedule(max_batch_size: int, window_s: float,
+                 events: list[Arrival]) -> list[Batch[str, int]]:
+    """Feed the arrival schedule through a fresh batcher; drain at the end."""
+    batcher: MicroBatcher[str, int] = MicroBatcher(
+        max_batch_size=max_batch_size, window_s=window_s
+    )
+    flushed: list[Batch[str, int]] = []
+    now = 0.0
+    for item_id, event in enumerate(events):
+        now += event.gap_s
+        if event.poll_before:
+            flushed.extend(batcher.due(now))
+        full = batcher.add(event.key, item_id, now)
+        if full is not None:
+            flushed.append(full)
+    flushed.extend(batcher.drain(now + 1.0))
+    assert batcher.pending_count() == 0
+    return flushed
+
+
+@given(params=batcher_params, events=arrivals)
+@settings(max_examples=200, deadline=None)
+def test_no_item_lost_or_duplicated(params, events):
+    max_batch_size, window_s = params
+    flushed = run_schedule(max_batch_size, window_s, events)
+    delivered = [item for batch in flushed for item in batch.items]
+    assert sorted(delivered) == list(range(len(events)))
+
+
+@given(params=batcher_params, events=arrivals)
+@settings(max_examples=200, deadline=None)
+def test_batch_invariants(params, events):
+    max_batch_size, window_s = params
+    flushed = run_schedule(max_batch_size, window_s, events)
+    for batch in flushed:
+        assert 1 <= len(batch) <= max_batch_size
+        assert {events[item].key for item in batch.items} == {batch.key}
+        assert batch.reason in ("size", "window", "drain")
+        assert batch.flushed_at >= batch.opened_at
+        if batch.reason == "size":
+            assert len(batch) == max_batch_size
+        if batch.reason == "window" and window_s > 0:
+            # A window flush only happens once the first arrival has
+            # genuinely waited out the latency budget.
+            assert batch.flushed_at - batch.opened_at >= window_s
+
+
+@given(params=batcher_params, events=arrivals)
+@settings(max_examples=100, deadline=None)
+def test_schedule_is_deterministic(params, events):
+    max_batch_size, window_s = params
+    first = run_schedule(max_batch_size, window_s, events)
+    second = run_schedule(max_batch_size, window_s, events)
+    assert first == second
+
+
+@given(
+    params=batcher_params,
+    events=arrivals,
+    removal_mask=st.lists(st.booleans(), max_size=60),
+)
+@settings(max_examples=100, deadline=None)
+def test_removed_items_are_never_flushed(params, events, removal_mask):
+    max_batch_size, window_s = params
+    batcher: MicroBatcher[str, int] = MicroBatcher(
+        max_batch_size=max_batch_size, window_s=window_s
+    )
+    flushed: list[Batch[str, int]] = []
+    removed: set[int] = set()
+    now = 0.0
+    for item_id, event in enumerate(events):
+        now += event.gap_s
+        full = batcher.add(event.key, item_id, now)
+        if full is not None:
+            flushed.append(full)
+        elif item_id < len(removal_mask) and removal_mask[item_id]:
+            # Still held: cancel it (the service's deadline-expiry path).
+            assert batcher.remove(event.key, item_id)
+            removed.add(item_id)
+    flushed.extend(batcher.drain(now + 1.0))
+    delivered = [item for batch in flushed for item in batch.items]
+    assert sorted(delivered) == sorted(set(range(len(events))) - removed)
+    assert not removed & set(delivered)
+    for batch in flushed:
+        assert len(batch) >= 1
+
+
+def test_remove_unknown_item_is_a_noop():
+    batcher: MicroBatcher[str, int] = MicroBatcher(max_batch_size=4,
+                                                   window_s=1.0)
+    assert not batcher.remove("alpha", 0)
+    batcher.add("alpha", 1, 0.0)
+    assert not batcher.remove("alpha", 2)
+    assert not batcher.remove("beta", 1)
+    assert batcher.pending_count() == 1
+
+
+def test_next_due_at_tracks_earliest_open_batch():
+    batcher: MicroBatcher[str, int] = MicroBatcher(max_batch_size=4,
+                                                   window_s=0.5)
+    assert batcher.next_due_at() is None
+    batcher.add("alpha", 0, 1.0)
+    batcher.add("beta", 1, 1.2)
+    assert batcher.next_due_at() == 1.5
+    assert [b.key for b in batcher.due(1.5)] == ["alpha"]
+    assert batcher.next_due_at() == 1.7

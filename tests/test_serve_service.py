@@ -1,0 +1,362 @@
+"""Tests for the micro-batching sensing service (``repro.serve``).
+
+Pins the subsystem's four contracts:
+
+- **equivalence/determinism** — served results are bitwise identical to
+  direct ``FmcwRadar.sense`` calls with the same parameters, for any
+  submission order and any batch grouping (and inside 1e-10 of the naive
+  reference, transitively via the pinned pipeline equivalence);
+- **saturation** — a full admission queue rejects with
+  ``ServiceOverloadedError``; expired deadlines cancel queued work with
+  ``DeadlineExceededError`` before compute is spent;
+- **degradation** — a vectorized-path failure falls back to the naive
+  kernels per request, visibly (response backend + fallback counter);
+- **telemetry** — the metrics snapshot reports counts, batch sizes, and
+  latency percentiles as JSON.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+import numpy as np
+import pytest
+
+import repro.serve.engine as serve_engine
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from repro.geometry import Rectangle
+from repro.radar import FmcwRadar, RadarConfig, Scene
+from repro.serve import (
+    BACKEND_NAIVE_FALLBACK,
+    BACKEND_VECTORIZED,
+    InProcessClient,
+    SenseRequest,
+    SenseService,
+    ServiceConfig,
+)
+from repro.signal.chirp import ChirpConfig
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+def fast_radar_config(**overrides) -> RadarConfig:
+    """A 64-sample chirp keeps every service test sub-second."""
+    defaults = dict(
+        chirp=ChirpConfig(duration=3.2e-5),
+        position=(2.0, 0.1),
+        facing_angle=np.pi / 2.0,
+    )
+    defaults.update(overrides)
+    return RadarConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def scene() -> Scene:
+    room = Rectangle.from_size(4.0, 4.0)
+    built = Scene(room)
+    built.add_static((1.0, 3.0), rcs=4.0)
+    built.add_static((3.2, 2.1), rcs=2.0)
+    return built
+
+
+@pytest.fixture(scope="module")
+def radar_config() -> RadarConfig:
+    return fast_radar_config()
+
+
+def quick_service_config(**overrides) -> ServiceConfig:
+    defaults = dict(max_batch_size=4, batch_window_ms=5.0, queue_depth=64,
+                    default_deadline_s=10.0, workers=2)
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+class TestRequestValidation:
+    def test_bad_duration_rejected(self, scene):
+        with pytest.raises(ConfigurationError, match="duration"):
+            SenseRequest(scene=scene, duration=0.0)
+
+    def test_bad_max_range_rejected(self, scene):
+        with pytest.raises(ConfigurationError, match="max_range"):
+            SenseRequest(scene=scene, duration=1.0, max_range=-1.0)
+
+    def test_bad_deadline_rejected(self, scene):
+        with pytest.raises(ConfigurationError, match="deadline"):
+            SenseRequest(scene=scene, duration=1.0, deadline_s=0.0)
+
+
+class TestEquivalenceAndDeterminism:
+    def test_served_results_bitwise_match_direct_sense(self, scene,
+                                                       radar_config):
+        seeds = [3, 1, 4, 1, 5, 9]  # includes a duplicate seed
+        radar = FmcwRadar(radar_config)
+        direct = [radar.sense(scene, 0.3, rng=np.random.default_rng(s))
+                  for s in seeds]
+
+        requests = [SenseRequest(scene=scene, duration=0.3, seed=s)
+                    for s in seeds]
+        with InProcessClient(quick_service_config(),
+                             default_radar_config=radar_config) as client:
+            served = client.sense_many(requests)
+
+        assert [r.backend for r in served] == [BACKEND_VECTORIZED] * len(seeds)
+        for expected, response in zip(direct, served):
+            result = response.result
+            assert np.array_equal(result.times, expected.times)
+            assert np.array_equal(result.raw_profiles, expected.raw_profiles)
+            assert len(result.profiles) == len(expected.profiles)
+            for got, want in zip(result.profiles, expected.profiles):
+                assert np.array_equal(got.power, want.power)
+                assert np.array_equal(got.ranges, want.ranges)
+                assert np.array_equal(got.angles, want.angles)
+
+    def test_equivalence_to_naive_reference_within_1e10(self, scene,
+                                                        radar_config):
+        radar = FmcwRadar(radar_config)
+        naive = radar.sense(scene, 0.3, rng=np.random.default_rng(11),
+                            synth="naive", pipeline="naive")
+        with InProcessClient(quick_service_config(),
+                             default_radar_config=radar_config) as client:
+            served = client.sense(
+                SenseRequest(scene=scene, duration=0.3, seed=11)
+            )
+        for got, want in zip(served.result.profiles, naive.profiles):
+            np.testing.assert_allclose(got.power, want.power, atol=1e-10)
+
+    def test_arrival_order_and_grouping_do_not_change_results(self, scene,
+                                                              radar_config):
+        seeds = list(range(8))
+        requests = {
+            s: SenseRequest(scene=scene, duration=0.3, seed=s) for s in seeds
+        }
+        # Run 1: submission order 0..7, large batches.
+        with InProcessClient(quick_service_config(max_batch_size=8),
+                             default_radar_config=radar_config) as client:
+            responses = client.sense_many([requests[s] for s in seeds])
+            first = dict(zip(seeds, responses))
+        # Run 2: reversed order, singleton batches (window 0, size 1).
+        with InProcessClient(
+            quick_service_config(max_batch_size=1, batch_window_ms=0.0),
+            default_radar_config=radar_config,
+        ) as client:
+            responses = client.sense_many(
+                [requests[s] for s in reversed(seeds)]
+            )
+            second = dict(zip(reversed(seeds), responses))
+        for s in seeds:
+            assert np.array_equal(first[s].result.raw_profiles,
+                                  second[s].result.raw_profiles)
+            for got, want in zip(first[s].result.profiles,
+                                 second[s].result.profiles):
+                assert np.array_equal(got.power, want.power)
+
+    def test_distinct_radar_configs_batch_separately_and_correctly(
+            self, scene):
+        config_a = fast_radar_config()
+        config_b = fast_radar_config(frame_rate=20.0)
+        direct_a = FmcwRadar(config_a).sense(scene, 0.3,
+                                             rng=np.random.default_rng(2))
+        direct_b = FmcwRadar(config_b).sense(scene, 0.3,
+                                             rng=np.random.default_rng(2))
+        requests = [
+            SenseRequest(scene=scene, duration=0.3, seed=2, config=config_a),
+            SenseRequest(scene=scene, duration=0.3, seed=2, config=config_b),
+        ]
+        with InProcessClient(quick_service_config(),
+                             default_radar_config=config_a) as client:
+            served_a, served_b = client.sense_many(requests)
+        assert np.array_equal(served_a.result.raw_profiles,
+                              direct_a.raw_profiles)
+        assert np.array_equal(served_b.result.raw_profiles,
+                              direct_b.raw_profiles)
+        assert len(served_a.result.times) == len(direct_a.times)
+        assert len(served_b.result.times) == len(direct_b.times)
+        assert len(served_b.result.times) > len(served_a.result.times)
+
+
+class BlockableExecute:
+    """An injectable execute callable that parks until released."""
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.calls = 0
+
+    def __call__(self, items):
+        self.calls += 1
+        assert self.release.wait(timeout=30.0), "test never released executor"
+        return serve_engine.execute_batch(items)
+
+
+class TestSaturationAndDeadlines:
+    def test_full_queue_rejects_with_overload_error(self, scene,
+                                                    radar_config):
+        blocker = BlockableExecute()
+
+        async def run() -> dict:
+            service = SenseService(
+                quick_service_config(max_batch_size=1, batch_window_ms=0.0,
+                                     queue_depth=2, workers=1),
+                default_radar_config=radar_config,
+                execute=blocker,
+            )
+            async with service:
+                request = SenseRequest(scene=scene, duration=0.3, seed=0)
+                # First request: flushed instantly, occupies the one worker
+                # (blocked inside the executor), leaving the queue empty.
+                first = asyncio.ensure_future(service.submit(request))
+                while blocker.calls == 0:
+                    await asyncio.sleep(0.001)
+                # Two more fill the admission queue.
+                second = asyncio.ensure_future(service.submit(request))
+                third = asyncio.ensure_future(service.submit(request))
+                await asyncio.sleep(0.01)
+                with pytest.raises(ServiceOverloadedError):
+                    await service.submit(request)
+                rejected_count = service.metrics.counter(
+                    "requests.rejected").value
+                blocker.release.set()
+                responses = await asyncio.gather(first, second, third)
+            return {"rejected": rejected_count, "responses": responses}
+
+        outcome = asyncio.run(run())
+        assert outcome["rejected"] == 1
+        assert len(outcome["responses"]) == 3
+        assert all(r.backend == BACKEND_VECTORIZED
+                   for r in outcome["responses"])
+
+    def test_expired_deadline_cancels_queued_work(self, scene, radar_config):
+        blocker = BlockableExecute()
+
+        async def run() -> int:
+            service = SenseService(
+                quick_service_config(max_batch_size=1, batch_window_ms=0.0,
+                                     workers=1),
+                default_radar_config=radar_config,
+                execute=blocker,
+            )
+            async with service:
+                hold = asyncio.ensure_future(service.submit(
+                    SenseRequest(scene=scene, duration=0.3, seed=0)
+                ))
+                while blocker.calls == 0:
+                    await asyncio.sleep(0.001)
+                doomed = asyncio.ensure_future(service.submit(
+                    SenseRequest(scene=scene, duration=0.3, seed=1,
+                                 deadline_s=0.02)
+                ))
+                await asyncio.sleep(0.05)  # let the deadline lapse in queue
+                calls_before_release = blocker.calls
+                blocker.release.set()
+                with pytest.raises(DeadlineExceededError):
+                    await doomed
+                await hold
+                # The doomed request never reached the executor: only the
+                # holding request's batch was executed.
+                assert blocker.calls == calls_before_release == 1
+                return service.metrics.counter("requests.expired").value
+
+        assert asyncio.run(run()) == 1
+
+    def test_submit_to_stopped_service_raises_closed(self, scene,
+                                                     radar_config):
+        async def run() -> None:
+            service = SenseService(quick_service_config(),
+                                   default_radar_config=radar_config)
+            with pytest.raises(ServiceClosedError):
+                await service.submit(
+                    SenseRequest(scene=scene, duration=0.3, seed=0)
+                )
+
+        asyncio.run(run())
+
+
+class TestGracefulDegradation:
+    def test_vectorized_failure_falls_back_to_naive(self, monkeypatch, scene,
+                                                    radar_config):
+        def explode(key, items):
+            raise RuntimeError("injected vectorized failure")
+
+        monkeypatch.setattr(serve_engine, "_run_group_vectorized", explode)
+        radar = FmcwRadar(radar_config)
+        expected = radar.sense(scene, 0.3, rng=np.random.default_rng(5),
+                               synth="naive", pipeline="naive")
+
+        with InProcessClient(quick_service_config(),
+                             default_radar_config=radar_config) as client:
+            response = client.sense(
+                SenseRequest(scene=scene, duration=0.3, seed=5)
+            )
+            snapshot = client.metrics_snapshot()
+
+        assert response.backend == BACKEND_NAIVE_FALLBACK
+        assert np.array_equal(response.result.raw_profiles,
+                              expected.raw_profiles)
+        for got, want in zip(response.result.profiles, expected.profiles):
+            assert np.array_equal(got.power, want.power)
+        assert snapshot["counters"]["batches.fallback"] >= 1
+        assert snapshot["counters"]["requests.completed"] == 1
+
+
+class TestTelemetry:
+    def test_snapshot_reports_counts_batches_and_latency(self, scene,
+                                                         radar_config):
+        requests = [SenseRequest(scene=scene, duration=0.3, seed=s)
+                    for s in range(6)]
+        with InProcessClient(quick_service_config(),
+                             default_radar_config=radar_config) as client:
+            responses = client.sense_many(requests)
+            snapshot = client.metrics_snapshot()
+            as_json = client.service.metrics.to_json()
+
+        counters = snapshot["counters"]
+        assert counters["requests.submitted"] == 6
+        assert counters["requests.completed"] == 6
+        assert counters["batches.executed"] >= 1
+
+        batch_hist = snapshot["histograms"]["batch.size"]
+        assert batch_hist["count"] == counters["batches.executed"]
+        assert batch_hist["sum"] == 6.0
+        assert any(bucket["count"] for bucket in batch_hist["buckets"])
+
+        latency_hist = snapshot["histograms"]["request.latency_s"]
+        assert latency_hist["count"] == 6
+        assert 0.0 <= latency_hist["p50"] <= latency_hist["p95"]
+
+        assert snapshot["gauges"]["queue.depth"] == 0.0
+        assert json.loads(as_json) == json.loads(
+            json.dumps(snapshot, sort_keys=True)
+        )
+        assert {r.batch_size for r in responses} <= {1, 2, 3, 4}
+
+
+class TestResponseMetadata:
+    def test_batch_size_and_timings_populated(self, scene, radar_config):
+        with InProcessClient(
+            quick_service_config(max_batch_size=8, batch_window_ms=20.0),
+            default_radar_config=radar_config,
+        ) as client:
+            responses = client.sense_many(
+                [SenseRequest(scene=scene, duration=0.3, seed=s)
+                 for s in range(4)]
+            )
+        for response in responses:
+            assert 1 <= response.batch_size <= 4
+            assert response.queued_s >= 0.0
+            assert response.total_s >= response.queued_s
+
+    def test_request_ids_are_admission_ordered(self, scene, radar_config):
+        with InProcessClient(quick_service_config(),
+                             default_radar_config=radar_config) as client:
+            responses = client.sense_many(
+                [SenseRequest(scene=scene, duration=0.3, seed=s)
+                 for s in range(3)]
+            )
+        ids = [r.request_id for r in responses]
+        assert ids == sorted(ids)
