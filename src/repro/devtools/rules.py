@@ -7,7 +7,7 @@ count), no wall-clock/uuid nondeterminism in result paths, centralized
 and hygiene classics (mutable defaults, swallowed exceptions, unseeded
 test RNGs).
 
-Rule ids are stable: ``RFP001``–``RFP008``. Suppress a deliberate
+Rule ids are stable: ``RFP001``–``RFP009``. Suppress a deliberate
 violation with a trailing ``# rflint: disable=RFP00x`` comment.
 """
 
@@ -27,6 +27,7 @@ __all__ = [
     "SwallowedException",
     "TestHygiene",
     "AsyncBlockingCall",
+    "BackendDispatchOutsideRegistry",
 ]
 
 
@@ -616,3 +617,55 @@ class AsyncBlockingCall(Rule):
                     f"async {coroutine.name}(); do it via "
                     f"loop.run_in_executor(...)",
                 )
+
+
+_BACKEND_ACCESSORS = frozenset(
+    {
+        "repro.config.get_synth_backend",
+        "repro.config.get_pipeline_backend",
+    }
+)
+
+
+@register
+class BackendDispatchOutsideRegistry(Rule):
+    """RFP009 — backend selection only through the kernel registry.
+
+    ``get_synth_backend()``/``get_pipeline_backend()`` answer "which kernel
+    should run?" — a question only the stage-graph kernel registry
+    (:mod:`repro.radar.stages`) may ask. Every other call site branching on
+    those accessors re-grows the scattered ``if backend == "naive"``
+    conditionals the registry exists to eliminate, and per-call overrides
+    (``sense(..., pipeline="naive")``) silently stop reaching it. Register
+    a kernel per backend and resolve via ``KERNELS.resolve(stage)`` (or a
+    ``StageBinding`` override) instead.
+    """
+
+    rule_id = "RFP009"
+    title = "backend dispatch outside the kernel registry"
+    include = ("*repro/radar/*", "*repro/serve/*", "*repro/signal/*",
+               "*repro/experiments/*")
+    exclude = ("*repro/radar/stages.py",)
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        aliases = build_aliases(source.tree)
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call):
+                target = resolve(node.func, aliases)
+                if target in _BACKEND_ACCESSORS:
+                    yield self.finding(
+                        source, node,
+                        f"{target}() selects a backend outside the kernel "
+                        f"registry; resolve kernels via "
+                        f"repro.radar.stages.KERNELS instead",
+                    )
+            elif isinstance(node, ast.ImportFrom) and not node.level:
+                for alias in node.names:
+                    target = f"{node.module}.{alias.name}"
+                    if target in _BACKEND_ACCESSORS:
+                        yield self.finding(
+                            source, node,
+                            f"importing {target} outside the kernel registry "
+                            f"invites scattered backend conditionals; "
+                            f"resolve kernels via repro.radar.stages.KERNELS",
+                        )

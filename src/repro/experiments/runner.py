@@ -17,7 +17,7 @@ import json
 import os
 import time
 from collections.abc import Callable, Sequence
-from typing import Any
+from typing import Any, cast
 
 import numpy as np
 
@@ -162,12 +162,18 @@ class ExperimentRun:
         elapsed_s: wall-clock runtime of the run function.
         options: the exact keyword overrides the run function received on
             top of any fast presets (including a spawned ``seed``, if any).
+        stage_timings: per-stage wall-time deltas this run contributed to
+            the stage-graph histograms (:func:`repro.radar.stages.
+            stage_metrics`): ``{"stages.<stage>.wall_s": {"count": n,
+            "wall_s": seconds}}``. Empty when the run never entered the
+            sensing graph (fig7's closed-form sweep, say).
     """
 
     experiment_id: str
     result: Any
     elapsed_s: float
     options: dict[str, Any]
+    stage_timings: dict[str, Any] = dataclasses.field(default_factory=dict)
 
     def record(self) -> dict[str, Any]:
         """A small JSON-serializable summary of this run."""
@@ -177,6 +183,7 @@ class ExperimentRun:
             "options": {key: _jsonable(value)
                         for key, value in sorted(self.options.items())},
             "result_type": type(self.result).__name__,
+            "stage_timings": self.stage_timings,
         }
 
 
@@ -198,14 +205,41 @@ def experiment_seeds(num_experiments: int, base_seed: int) -> list[int]:
             for child in children]
 
 
+def _stage_counts() -> dict[str, tuple[int, float]]:
+    """Current ``(count, wall_s)`` per stage-graph timing histogram."""
+    from repro.radar.stages import stage_metrics
+
+    histograms = cast("dict[str, dict[str, Any]]",
+                      stage_metrics().snapshot()["histograms"])
+    return {name: (int(data["count"]), float(data["sum"]))
+            for name, data in histograms.items()}
+
+
+def _stage_timing_deltas(before: dict[str, tuple[int, float]],
+                         after: dict[str, tuple[int, float]],
+                         ) -> dict[str, Any]:
+    """Per-stage observation/wall-time growth between two snapshots."""
+    deltas: dict[str, Any] = {}
+    for name, (count, total) in sorted(after.items()):
+        prev_count, prev_total = before.get(name, (0, 0.0))
+        if count > prev_count:
+            deltas[name] = {"count": count - prev_count,
+                            "wall_s": total - prev_total}
+    return deltas
+
+
 def _timed_run(experiment_id: str, fast: bool,
                options: dict[str, Any]) -> ExperimentRun:
     """Worker entry point (module-level so it pickles into a process pool)."""
+    stages_before = _stage_counts()
     started = time.perf_counter()
     result = run_experiment(experiment_id, fast=fast, **options)
+    elapsed_s = time.perf_counter() - started
     return ExperimentRun(experiment_id=experiment_id, result=result,
-                         elapsed_s=time.perf_counter() - started,
-                         options=dict(options))
+                         elapsed_s=elapsed_s,
+                         options=dict(options),
+                         stage_timings=_stage_timing_deltas(stages_before,
+                                                            _stage_counts()))
 
 
 def run_experiments(experiment_ids: Sequence[str], *, fast: bool = False,

@@ -5,6 +5,12 @@ The paper evaluates RF-Protect against a custom 6--7 GHz FMCW radar with a
 beat-signal synthesis from a scene of reflectors (`frontend`), the paper's
 range/angle processing pipeline with background subtraction (`processing`),
 and the trajectory extraction stage with Kalman tracking (`tracker`).
+
+Every sense path — FMCW, pulsed, the serving engine, the experiments
+runner — executes through the stage-graph executor in `stages`: a typed
+Emit → Synthesize → RangeFFT → BackgroundSubtract → Beamform → Detect
+plan whose kernels resolve from one registration-based registry
+(`KERNELS`), with per-stage wall-time instrumentation.
 """
 
 from repro.radar.antenna import UniformLinearArray
@@ -46,16 +52,36 @@ from repro.radar.processing import (
 from repro.radar.pulsed import PulsedRadar, PulsedRadarConfig, PulsedSensingResult
 from repro.radar.radar import FmcwRadar, SensingResult
 from repro.radar.scene import Fan, HumanTarget, Scene, StaticReflector
+from repro.radar.stages import (
+    KERNELS,
+    RECEIVE_PLAN,
+    SENSE_PLAN,
+    ExecutionContext,
+    KernelRegistry,
+    Stage,
+    StageBinding,
+    StageKernel,
+    backend_overrides,
+    default_backend,
+    execute,
+    frame_synthesizer,
+    stage_metrics,
+)
 from repro.radar.tracker import KalmanTracker2D, TrackerConfig, extract_tracks
 
 __all__ = [
     "ChannelModel",
+    "ExecutionContext",
     "Fan",
     "FmcwRadar",
     "HumanTarget",
+    "KERNELS",
     "KalmanTracker2D",
+    "KernelRegistry",
     "PackedComponents",
     "PathComponent",
+    "RECEIVE_PLAN",
+    "SENSE_PLAN",
     "SYNTH_STATS",
     "SynthesisStats",
     "PulsedRadar",
@@ -65,11 +91,19 @@ __all__ = [
     "RangeAngleProfile",
     "Scene",
     "SensingResult",
+    "Stage",
+    "StageBinding",
+    "StageKernel",
     "StaticReflector",
     "SweepProcessingResult",
     "TrackerConfig",
     "UniformLinearArray",
     "ZERO_PAD_FACTOR",
+    "backend_overrides",
+    "default_backend",
+    "execute",
+    "frame_synthesizer",
+    "stage_metrics",
     "background_subtract",
     "batched_background_subtract",
     "batched_beamform_power",

@@ -14,11 +14,12 @@ f_switch`` (Sec. 5.1), which is exactly how the tag spoofs distance.
 
 Two interchangeable synthesis kernels exist: the reference per-component
 loop in this module (:func:`synthesize_frame_naive`) and the batched,
-broadcasted engine in :mod:`repro.radar.batch`. :func:`synthesize_frame`
-dispatches between them via the ``RF_PROTECT_SYNTH`` environment variable
-(``vectorized`` by default, ``naive`` as the debugging escape hatch); the
-equivalence suite in ``tests/test_frontend_equivalence.py`` pins the two
-kernels to each other.
+broadcasted engine in :mod:`repro.radar.batch`. Both register with the
+Synthesize stage of the kernel registry (:mod:`repro.radar.stages`);
+:func:`synthesize_frame` resolves through that registry, which follows the
+``RF_PROTECT_SYNTH`` environment variable (``vectorized`` by default,
+``naive`` as the debugging escape hatch); the equivalence suite in
+``tests/test_frontend_equivalence.py`` pins the two kernels to each other.
 """
 
 from __future__ import annotations
@@ -28,7 +29,6 @@ import logging
 
 import numpy as np
 
-from repro.config import get_synth_backend
 from repro.errors import SignalProcessingError
 from repro.radar.antenna import UniformLinearArray
 from repro.radar.config import RadarConfig
@@ -83,10 +83,15 @@ SYNTH_STATS = SynthesisStats()
 def synthesis_backend() -> str:
     """The active synthesis kernel, from ``RF_PROTECT_SYNTH``.
 
-    Thin alias for :func:`repro.config.get_synth_backend`, the registry
-    accessor that owns the parse/validate logic (see RFP003).
+    Thin alias for the Synthesize stage's default backend, resolved
+    through the kernel registry (:mod:`repro.radar.stages`) — the one
+    module allowed to branch on the backend accessors (see RFP009).
     """
-    return get_synth_backend()
+    # Imported lazily: repro.radar.stages registers this module's kernels,
+    # so it imports us at module load.
+    from repro.radar.stages import Stage, default_backend
+
+    return default_backend(Stage.SYNTHESIZE)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -192,8 +197,10 @@ def synthesize_frame(components: list[PathComponent], config: RadarConfig,
                      rng: np.random.Generator | None = None) -> np.ndarray:
     """Synthesize one frame of beat samples for all antennas.
 
-    Dispatches to the batched engine (:mod:`repro.radar.batch`) or the
-    reference loop above according to ``RF_PROTECT_SYNTH``.
+    Resolves the frame-level Synthesize kernel through the registry in
+    :mod:`repro.radar.stages` — the batched engine
+    (:mod:`repro.radar.batch`) or the reference loop above according to
+    ``RF_PROTECT_SYNTH``.
 
     Args:
         components: propagation paths visible in this chirp.
@@ -204,8 +211,6 @@ def synthesize_frame(components: list[PathComponent], config: RadarConfig,
     Returns:
         Complex array of shape ``(num_antennas, num_samples)``.
     """
-    if synthesis_backend() == "naive":
-        return synthesize_frame_naive(components, config, array, rng)
-    from repro.radar.batch import synthesize_frame_vectorized
+    from repro.radar.stages import frame_synthesizer
 
-    return synthesize_frame_vectorized(components, config, array, rng)
+    return frame_synthesizer()(components, config, array, rng)

@@ -36,7 +36,6 @@ import dataclasses
 
 import numpy as np
 
-from repro.config import get_pipeline_backend
 from repro.errors import SignalProcessingError
 from repro.radar.antenna import UniformLinearArray
 from repro.radar.config import RadarConfig
@@ -67,10 +66,15 @@ _CHUNK_BYTES = 1 << 22
 def pipeline_backend() -> str:
     """The active receive-processing engine, from ``RF_PROTECT_PIPELINE``.
 
-    Thin alias for :func:`repro.config.get_pipeline_backend`, the registry
-    accessor that owns the parse/validate logic (see RFP003).
+    Thin alias for the receive stages' default backend, resolved through
+    the kernel registry (:mod:`repro.radar.stages`) — the one module
+    allowed to branch on the backend accessors (see RFP009).
     """
-    return get_pipeline_backend()
+    # Imported lazily: repro.radar.stages registers kernels built from
+    # this module's batch passes, so it imports us at module load.
+    from repro.radar.stages import Stage, default_backend
+
+    return default_backend(Stage.BEAMFORM)
 
 
 def batched_range_profiles(frames: np.ndarray,
@@ -298,27 +302,23 @@ def process_sweep(frames: np.ndarray, config: RadarConfig,
             f"got {times.shape[0]} frame times for "
             f"{np.asarray(frames).shape[0]} frames"
         )
-    raw_profiles = batched_range_profiles(frames, config)
+    # Imported lazily — see pipeline_backend().
+    from repro.radar.stages import (
+        RECEIVE_PLAN,
+        ExecutionContext,
+        StageBinding,
+        execute,
+    )
 
-    full_ranges = range_axis(config.chirp, zero_pad_factor=ZERO_PAD_FACTOR)
-    if min_range is None:
-        min_range = config.min_range
-    keep = range_keep_mask(full_ranges, min_range=min_range,
-                           max_range=max_range)
-    ranges = full_ranges[keep]
-    ranges.flags.writeable = False
-    angles = config.angle_grid()
-    angles.flags.writeable = False
-
-    # Crop to the kept bins *before* subtracting: subtraction is
-    # elementwise, so it commutes with the column crop, and the difference
-    # pass then touches only the in-room slice of the profile cube.
-    kept_profiles = np.ascontiguousarray(raw_profiles[:, :, keep])
-    subtracted = batched_background_subtract(kept_profiles)
-    power_cube = batched_beamform_power(subtracted, array, angles)
-    # Every profile view slices this one cube; freeze it so mutating one
-    # frame's map cannot silently corrupt its siblings.
-    power_cube.flags.writeable = False
-    return SweepProcessingResult(raw_profiles=raw_profiles,
-                                 power_cube=power_cube, ranges=ranges,
-                                 angles=angles, times=times)
+    ctx = ExecutionContext(
+        array=array, times=times, config=config, max_range=max_range,
+        min_range=config.min_range if min_range is None else min_range,
+    )
+    ctx.workspace["frames"] = np.asarray(frames)
+    execute(tuple(StageBinding(b.stage, backend="vectorized")
+                  for b in RECEIVE_PLAN), ctx)
+    return SweepProcessingResult(raw_profiles=ctx.workspace["raw_profiles"],
+                                 power_cube=ctx.workspace["power_cube"],
+                                 ranges=ctx.workspace["ranges"],
+                                 angles=ctx.workspace["angles"],
+                                 times=times)

@@ -30,15 +30,16 @@ from repro.radar.antenna import UniformLinearArray
 from repro.radar.config import RadarConfig
 from repro.radar.batch import pack_components
 from repro.radar.frontend import PathComponent
-from repro.radar.pipeline import (
-    batched_background_subtract,
-    batched_beamform_power,
-    pipeline_backend,
-)
-from repro.radar.processing import RangeAngleProfile, range_keep_mask
+from repro.radar.processing import RangeAngleProfile
 from repro.radar.scene import Scene
-from repro.radar.tracker import Track, TrackerConfig, extract_tracks
-from repro.types import Trajectory
+from repro.radar.stages import (
+    ExecutionContext,
+    Stage,
+    StageBinding,
+    TrackedResultMixin,
+    backend_overrides,
+    execute,
+)
 
 __all__ = ["PulsedRadar", "PulsedRadarConfig", "PulsedSensingResult"]
 
@@ -132,20 +133,24 @@ class PulsedRadarConfig:
 
 
 @dataclasses.dataclass
-class PulsedSensingResult:
-    """Frames captured by a pulsed radar (same downstream API as FMCW)."""
+class PulsedSensingResult(TrackedResultMixin):
+    """Frames captured by a pulsed radar (same downstream API as FMCW).
+
+    Tracking, trajectory extraction, and phase analysis come from
+    :class:`~repro.radar.stages.TrackedResultMixin`, shared with
+    :class:`~repro.radar.radar.SensingResult`.
+    """
 
     times: np.ndarray
     profiles: list[RangeAngleProfile]
     config: PulsedRadarConfig
     array: UniformLinearArray
+    raw_profiles: np.ndarray | None = None
 
-    def tracks(self, tracker_config: TrackerConfig | None = None) -> list[Track]:
-        return extract_tracks(self.profiles, self.array, tracker_config)
-
-    def trajectories(self, tracker_config: TrackerConfig | None = None
-                     ) -> list[Trajectory]:
-        return [t.to_trajectory() for t in self.tracks(tracker_config)]
+    def range_bins(self) -> np.ndarray:
+        """Distance of each raw-profile fast-time bin, meters."""
+        delays = np.arange(self.config.num_samples) / self.config.sample_rate
+        return constants.SPEED_OF_LIGHT * delays / 2.0
 
 
 class PulsedRadar:
@@ -197,10 +202,62 @@ class PulsedRadar:
                                  + 1j * rng.normal(0.0, scale, profile.shape))
         return profile
 
+    def _emit_stage(self, ctx: ExecutionContext) -> None:
+        """Emit kernel: scene components + noise draws, frame by frame.
+
+        The scene query and the noise draw hit the generator in the same
+        time order as the historical per-frame loop, so a fixed seed
+        reproduces bit-for-bit.
+        """
+        config = self.config
+        rng = ctx.rng
+        add_noise = rng is not None and config.noise_std > 0
+        scale = config.noise_std / np.sqrt(2.0)
+        shape = (config.num_antennas, config.num_samples)
+        emitter = ctx.scene.sweep_emitter(self.array)
+        components_per_frame: list[list[PathComponent]] = []
+        noise: list[np.ndarray] = []
+        for t in ctx.times:
+            components_per_frame.append(emitter.components_at(float(t), rng))
+            if add_noise and rng is not None:
+                noise.append(rng.normal(0.0, scale, shape)
+                             + 1j * rng.normal(0.0, scale, shape))
+        ctx.workspace["components"] = components_per_frame
+        ctx.workspace["noise"] = np.stack(noise) if add_noise else None
+
+    def _synthesize_stage(self, ctx: ExecutionContext) -> None:
+        """Synthesize kernel: deterministic echoes, then the noise stack."""
+        frames = np.stack([
+            self._echo_profile(frame_components, None)
+            for frame_components in ctx.workspace["components"]
+        ])
+        noise = ctx.workspace.get("noise")
+        if noise is not None:
+            frames = frames + noise
+        ctx.workspace["frames"] = frames
+
+    def _matched_filter_stage(self, ctx: ExecutionContext) -> None:
+        """Range-transform kernel: pulsed echoes are already range profiles.
+
+        Matched filtering happened inside the echo model (the Gaussian
+        envelope IS the filter output), so this stage only publishes the
+        profile cube and its fast-time range axis — the pulsed analogue of
+        the FMCW range FFT.
+        """
+        ctx.workspace["raw_profiles"] = ctx.workspace["frames"]
+        ctx.workspace["ranges_full"] = self._range_axis()
+
     def sense(self, scene: Scene, duration: float, *,
               rng: np.random.Generator | None = None,
-              start_time: float = 0.0) -> PulsedSensingResult:
-        """Capture ``duration`` seconds of pulsed frames from ``scene``."""
+              start_time: float = 0.0,
+              pipeline: str | None = None) -> PulsedSensingResult:
+        """Capture ``duration`` seconds of pulsed frames from ``scene``.
+
+        The emission/echo kernels are pulsed-specific, but background
+        subtraction and Eq. 2 beamforming resolve from the same stage
+        registry as the FMCW radar — ``pipeline`` overrides the
+        ``RF_PROTECT_PIPELINE`` dispatch for this call.
+        """
         if duration <= 0:
             raise TrackingError(f"duration must be positive, got {duration}")
         if rng is None:
@@ -208,46 +265,23 @@ class PulsedRadar:
         config = self.config
         num_frames = max(int(round(duration * config.frame_rate)), 2)
         times = start_time + np.arange(num_frames) * config.frame_interval
-        ranges = self._range_axis()
-        keep = range_keep_mask(ranges, min_range=config.min_range,
-                               max_range=config.max_range)
-        angles = config.angle_grid()
 
-        # Echo synthesis stays a time-ordered loop in both backends: the
-        # scene query and the noise draw must hit the generator in the same
-        # order frame by frame, so a fixed seed reproduces bit-for-bit.
-        echoes = np.empty((num_frames, config.num_antennas,
-                           config.num_samples), dtype=complex)
-        for f, t in enumerate(times):
-            components = scene.path_components(float(t), self.array, rng)
-            echoes[f] = self._echo_profile(components, rng)
-
-        profiles: list[RangeAngleProfile] = []
-        if pipeline_backend() == "naive":
-            previous = None
-            for t, current in zip(times, echoes):
-                subtracted = (np.zeros_like(current) if previous is None
-                              else current - previous)
-                previous = current
-                power = self.array.beamform(subtracted[:, keep], angles)
-                profiles.append(RangeAngleProfile(power=power.T,
-                                                  ranges=ranges[keep],
-                                                  angles=angles,
-                                                  time=float(t)))
-        else:
-            # Crop commutes with the elementwise subtraction, so cut the
-            # cube down to in-window bins before differencing it.
-            kept_echoes = np.ascontiguousarray(echoes[:, :, keep])
-            subtracted_cube = batched_background_subtract(kept_echoes)
-            power_cube = batched_beamform_power(subtracted_cube,
-                                                self.array, angles)
-            power_cube.flags.writeable = False
-            kept_ranges = ranges[keep]
-            kept_ranges.flags.writeable = False
-            profiles = [
-                RangeAngleProfile(power=power_cube[f], ranges=kept_ranges,
-                                  angles=angles, time=float(t))
-                for f, t in enumerate(times)
-            ]
-        return PulsedSensingResult(times=times, profiles=profiles,
-                                   config=config, array=self.array)
+        ctx = ExecutionContext(
+            array=self.array, times=times, config=config, scene=scene,
+            rng=rng, max_range=config.max_range, min_range=config.min_range,
+            overrides=backend_overrides(pipeline=pipeline),
+        )
+        execute((
+            StageBinding(Stage.EMIT, backend="pulsed",
+                         kernel=self._emit_stage),
+            StageBinding(Stage.SYNTHESIZE, backend="pulsed",
+                         kernel=self._synthesize_stage),
+            StageBinding(Stage.RANGE_FFT, backend="pulsed",
+                         kernel=self._matched_filter_stage),
+            StageBinding(Stage.BACKGROUND_SUBTRACT),
+            StageBinding(Stage.BEAMFORM),
+        ), ctx)
+        return PulsedSensingResult(times=times,
+                                   profiles=ctx.workspace["profiles"],
+                                   config=config, array=self.array,
+                                   raw_profiles=ctx.workspace["raw_profiles"])

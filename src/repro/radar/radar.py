@@ -17,34 +17,31 @@ import numpy as np
 from repro.errors import TrackingError
 from repro.radar.antenna import UniformLinearArray
 from repro.radar.config import RadarConfig
-from repro.radar.batch import synthesize_frames
-from repro.radar.frontend import (
-    PathComponent,
-    synthesis_backend,
-    synthesize_frame,
-    synthesize_frame_naive,
-    thermal_noise,
-)
-from repro.radar.pipeline import pipeline_backend, process_sweep
-from repro.radar.processing import (
-    ZERO_PAD_FACTOR,
-    RangeAngleProfile,
-    background_subtract,
-    compute_range_angle_map,
-    frame_range_profiles,
-)
+from repro.radar.frontend import PathComponent
+from repro.radar.processing import ZERO_PAD_FACTOR, RangeAngleProfile
 from repro.radar.scene import Scene
-from repro.radar.tracker import Track, TrackerConfig, extract_tracks
-from repro.signal.phase import extract_phase
+from repro.radar.stages import (
+    RECEIVE_PLAN,
+    SENSE_PLAN,
+    ExecutionContext,
+    StageBinding,
+    TrackedResultMixin,
+    backend_overrides,
+    emit_sweep,
+    execute,
+)
 from repro.signal.spectral import range_axis
-from repro.types import Trajectory
 
 __all__ = ["FmcwRadar", "SensingResult"]
 
 
 @dataclasses.dataclass
-class SensingResult:
+class SensingResult(TrackedResultMixin):
     """Everything a radar captured over one sensing session.
+
+    Tracking, trajectory extraction, and phase analysis come from
+    :class:`~repro.radar.stages.TrackedResultMixin`, shared with the
+    pulsed radar's result type.
 
     Attributes:
         times: frame capture times, seconds.
@@ -73,33 +70,6 @@ class SensingResult:
         never drift from the FFT grid that produced ``raw_profiles``.
         """
         return range_axis(self.config.chirp, zero_pad_factor=ZERO_PAD_FACTOR)
-
-    def tracks(self, tracker_config: TrackerConfig | None = None) -> list[Track]:
-        """Run trajectory extraction on the captured profiles."""
-        return extract_tracks(self.profiles, self.array, tracker_config)
-
-    def trajectories(self, tracker_config: TrackerConfig | None = None,
-                     *, smooth: bool = True) -> list[Trajectory]:
-        """Extracted trajectories, longest first."""
-        return [t.to_trajectory(smooth=smooth)
-                for t in self.tracks(tracker_config)]
-
-    def best_trajectory(self,
-                        tracker_config: TrackerConfig | None = None) -> Trajectory:
-        """The longest extracted trajectory; raises if nothing was tracked."""
-        trajectories = self.trajectories(tracker_config)
-        if not trajectories:
-            raise TrackingError("no target was tracked in this session")
-        return trajectories[0]
-
-    def phase_series(self, distance: float, *, antenna: int = 0) -> np.ndarray:
-        """Beat-tone phase across frames at the bin nearest ``distance``.
-
-        This is the observable that carries breathing (Sec. 11.4).
-        """
-        bins = self.range_bins()
-        bin_index = int(np.argmin(np.abs(bins - distance)))
-        return extract_phase(self.raw_profiles[:, antenna, :], bin_index)
 
 
 class FmcwRadar:
@@ -153,48 +123,15 @@ class FmcwRadar:
         frames are then synthesized one by one, as one batched sweep, or
         fused into a larger multi-request batch by the serving engine.
 
+        Thin delegation to :func:`repro.radar.stages.emit_sweep`, the Emit
+        stage's kernel (the serving engine calls this per request before
+        fusing the sweeps into one batch).
+
         Returns the per-frame component lists and, when the config has a
         positive noise floor, the matching ``(F, K, N)`` noise stack
         (``None`` otherwise).
         """
-        shape = (self.config.num_antennas, self.config.chirp.num_samples)
-        add_noise = self.config.noise_std > 0
-        emitter = scene.sweep_emitter(self.array)
-        components_per_frame: list[list[PathComponent]] = []
-        noise: list[np.ndarray] = []
-        for t in times:
-            components_per_frame.append(emitter.components_at(float(t), rng))
-            if add_noise:
-                noise.append(thermal_noise(self.config, rng, shape))
-        return components_per_frame, (np.stack(noise) if add_noise else None)
-
-    def _synthesize_sweep(self, scene: Scene, times: np.ndarray,
-                          rng: np.random.Generator,
-                          backend: str | None = None) -> np.ndarray:
-        """Raw beat frames for all of ``times``, shape ``(F, K, N)``.
-
-        ``backend`` overrides the ``RF_PROTECT_SYNTH`` dispatch (the serving
-        engine's naive-fallback path forces ``"naive"`` without touching
-        process environment).
-        """
-        if backend == "naive" or (backend is None
-                                  and synthesis_backend() == "naive"):
-            # Per-frame reference kernel. Forced "naive" pins the kernel
-            # directly (the env dispatch inside `synthesize_frame` must not
-            # be able to route a fallback back onto the failed engine).
-            kernel = (synthesize_frame_naive if backend == "naive"
-                      else synthesize_frame)
-            return np.stack([
-                kernel(scene.path_components(float(t), self.array, rng),
-                       self.config, self.array, rng)
-                for t in times
-            ])
-        components_per_frame, noise = self.sweep_components(scene, times, rng)
-        frames = synthesize_frames(components_per_frame, self.config,
-                                   self.array, rng=None)
-        if noise is not None:
-            frames += noise
-        return frames
+        return emit_sweep(scene, times, self.config, self.array, rng)
 
     def sense(self, scene: Scene, duration: float, *,
               rng: np.random.Generator | None = None,
@@ -224,23 +161,16 @@ class FmcwRadar:
             max_range = self.default_max_range(scene)
 
         times = self.frame_times(duration, start_time)
-        frames = self._synthesize_sweep(scene, times, rng, backend=synth)
-
-        if pipeline is None:
-            pipeline = pipeline_backend()
-        if pipeline == "naive":
-            profiles, raw_profiles = self._process_sweep_naive(
-                times, frames, max_range
-            )
-        else:
-            sweep = process_sweep(frames, self.config, self.array, times,
-                                  max_range=max_range)
-            profiles = sweep.profiles()
-            raw_profiles = sweep.raw_profiles
+        ctx = ExecutionContext(
+            array=self.array, times=times, config=self.config, scene=scene,
+            rng=rng, max_range=max_range, min_range=self.config.min_range,
+            overrides=backend_overrides(synth=synth, pipeline=pipeline),
+        )
+        execute(SENSE_PLAN, ctx)
         return SensingResult(
             times=times,
-            profiles=profiles,
-            raw_profiles=raw_profiles,
+            profiles=ctx.workspace["profiles"],
+            raw_profiles=ctx.workspace["raw_profiles"],
             config=self.config,
             array=self.array,
         )
@@ -248,21 +178,17 @@ class FmcwRadar:
     def _process_sweep_naive(self, times: np.ndarray, frames: np.ndarray,
                              max_range: float,
                              ) -> tuple[list[RangeAngleProfile], np.ndarray]:
-        """Reference per-frame receive pipeline (``RF_PROTECT_PIPELINE=naive``).
+        """Reference receive pipeline (``RF_PROTECT_PIPELINE=naive``).
 
-        Recomputes the range axis, window tapers, and steering matrix every
-        frame — kept as the kernel the batched engine is pinned against.
+        The receive sub-plan pinned to the naive kernels — kept as the
+        reference the batched engine is tested against.
         """
-        profiles: list[RangeAngleProfile] = []
-        raw_profiles: list[np.ndarray] = []
-        previous = None
-        for t, frame in zip(times, frames):
-            current = frame_range_profiles(frame, self.config)
-            raw_profiles.append(current)
-            subtracted = background_subtract(current, previous)
-            previous = current
-            profiles.append(
-                compute_range_angle_map(subtracted, self.config, self.array,
-                                        float(t), max_range=max_range)
-            )
-        return profiles, np.stack(raw_profiles)
+        ctx = ExecutionContext(
+            array=self.array, times=np.asarray(times, dtype=float),
+            config=self.config, max_range=max_range,
+            min_range=self.config.min_range,
+        )
+        ctx.workspace["frames"] = np.asarray(frames)
+        execute(tuple(StageBinding(b.stage, backend="naive")
+                      for b in RECEIVE_PLAN), ctx)
+        return ctx.workspace["profiles"], ctx.workspace["raw_profiles"]

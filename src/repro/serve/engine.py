@@ -24,6 +24,11 @@ vectorized engines end to end:
    output has shapes that depend only on the request itself — results are
    bitwise independent of how the scheduler grouped them.
 
+The fused passes are bound as explicit kernels of the stage graph
+(:mod:`repro.radar.stages`) and run through the same instrumented
+executor as every direct ``sense`` call, so served batches show up in the
+identical per-stage wall-time histograms.
+
 If anything in the fused path raises, :func:`execute_batch` degrades
 gracefully: each request is retried alone on the reference kernels
 (``synth="naive", pipeline="naive"``), isolating a poisoned request while
@@ -50,6 +55,7 @@ from repro.radar.pipeline import (
 )
 from repro.radar.processing import ZERO_PAD_FACTOR, range_keep_mask
 from repro.radar.radar import FmcwRadar, SensingResult
+from repro.radar.stages import ExecutionContext, Stage, StageBinding, execute
 from repro.serve.request import (
     BACKEND_NAIVE_FALLBACK,
     BACKEND_VECTORIZED,
@@ -99,17 +105,18 @@ def radar_for(config: RadarConfig) -> FmcwRadar:
     return FmcwRadar(config)
 
 
-def _run_group_vectorized(key: BatchKey,
-                          items: Sequence[ExecutionItem],
-                          ) -> list[SensingResult]:
-    """The fused vectorized path for one key-homogeneous group."""
-    config = key.config
-    radar = radar_for(config)
+def _fused_emit(ctx: ExecutionContext) -> None:
+    """Per-request emission, each from its own seeded generator.
 
+    Draw order inside a request is exactly that of a direct
+    ``FmcwRadar.sense`` call, so batching can never perturb a request's
+    random stream.
+    """
+    radar: FmcwRadar = ctx.workspace["radar"]
     sweeps = []
     noises = []
     times_list = []
-    for item in items:
+    for item in ctx.workspace["items"]:
         request = item.request
         rng = np.random.default_rng(request.seed)
         times = radar.frame_times(request.duration, request.start_time)
@@ -117,32 +124,65 @@ def _run_group_vectorized(key: BatchKey,
         sweeps.append(components)
         noises.append(noise)
         times_list.append(times)
-    frame_counts = [len(times) for times in times_list]
+    ctx.workspace["sweeps"] = sweeps
+    ctx.workspace["noises"] = noises
+    ctx.workspace["times_list"] = times_list
+    ctx.workspace["frame_counts"] = [len(times) for times in times_list]
+    ctx.times = np.concatenate(times_list)
 
-    fused, cubes = synthesize_frame_batches(sweeps, config, radar.array)
-    for cube, noise in zip(cubes, noises):
+
+def _fused_synthesize(ctx: ExecutionContext) -> None:
+    """One packed synthesis pass over every request's sweep."""
+    radar: FmcwRadar = ctx.workspace["radar"]
+    fused, cubes = synthesize_frame_batches(ctx.workspace["sweeps"],
+                                            ctx.config, radar.array)
+    for cube, noise in zip(cubes, ctx.workspace["noises"]):
         if noise is not None:
             cube += noise  # disjoint views: writes land in `fused`
+    ctx.workspace["frames"] = fused
 
-    raw_profiles = batched_range_profiles(fused, config)
 
-    full_ranges = range_axis(config.chirp, zero_pad_factor=ZERO_PAD_FACTOR)
-    keep = range_keep_mask(full_ranges, min_range=config.min_range,
-                           max_range=key.max_range)
-    ranges = full_ranges[keep]
+def _fused_range_fft(ctx: ExecutionContext) -> None:
+    """One blocked range FFT over the concatenated beat cube."""
+    ctx.workspace["raw_profiles"] = batched_range_profiles(
+        ctx.workspace["frames"], ctx.config
+    )
+    ctx.workspace["ranges_full"] = range_axis(
+        ctx.config.chirp, zero_pad_factor=ZERO_PAD_FACTOR
+    )
+
+
+def _fused_subtract(ctx: ExecutionContext) -> None:
+    """Shared crop + shifted difference with request boundaries re-zeroed."""
+    keep = range_keep_mask(ctx.workspace["ranges_full"],
+                           min_range=ctx.min_range, max_range=ctx.max_range)
+    ranges = ctx.workspace["ranges_full"][keep]
     ranges.flags.writeable = False
-    angles = config.angle_grid()
-    angles.flags.writeable = False
-
-    kept_profiles = np.ascontiguousarray(raw_profiles[:, :, keep])
+    ctx.workspace["keep"] = keep
+    ctx.workspace["ranges"] = ranges
+    kept_profiles = np.ascontiguousarray(
+        ctx.workspace["raw_profiles"][:, :, keep]
+    )
     subtracted = batched_background_subtract(kept_profiles)
     # A request's first frame has no predecessor inside *its* sweep; the
     # cube-wide shifted difference must not leak the previous request's
     # last frame across the boundary.
+    frame_counts = ctx.workspace["frame_counts"]
     starts = np.cumsum([0, *frame_counts[:-1]])
     subtracted[starts] = 0.0
+    ctx.workspace["subtracted"] = subtracted
 
-    lag_vectors = batched_lag_vectors(subtracted, radar.array)
+
+def _fused_beamform(ctx: ExecutionContext) -> None:
+    """Cube-wide lag vectors, then per-request-shaped stacked GEMMs."""
+    radar: FmcwRadar = ctx.workspace["radar"]
+    angles = ctx.config.angle_grid()
+    angles.flags.writeable = False
+    ranges = ctx.workspace["ranges"]
+    frame_counts = ctx.workspace["frame_counts"]
+
+    lag_vectors = batched_lag_vectors(ctx.workspace["subtracted"],
+                                      radar.array)
 
     num_bins = int(ranges.shape[0])
     num_angles = int(angles.shape[0])
@@ -168,9 +208,46 @@ def _run_group_vectorized(key: BatchKey,
             cube = power[slot].reshape(num_frames, num_bins, num_angles)
             cube.flags.writeable = False
             power_cubes[i] = cube
+    ctx.workspace["angles"] = angles
+    ctx.workspace["frame_offsets"] = frame_offsets
+    ctx.workspace["power_cubes"] = power_cubes
+
+
+#: The fused batch plan: the same stage sequence as a direct sense call,
+#: bound to multi-request kernels and instrumented under the same stages.
+_FUSED_PLAN: tuple[StageBinding, ...] = (
+    StageBinding(Stage.EMIT, backend="fused", kernel=_fused_emit),
+    StageBinding(Stage.SYNTHESIZE, backend="fused", kernel=_fused_synthesize),
+    StageBinding(Stage.RANGE_FFT, backend="fused", kernel=_fused_range_fft),
+    StageBinding(Stage.BACKGROUND_SUBTRACT, backend="fused",
+                 kernel=_fused_subtract),
+    StageBinding(Stage.BEAMFORM, backend="fused", kernel=_fused_beamform),
+)
+
+
+def _run_group_vectorized(key: BatchKey,
+                          items: Sequence[ExecutionItem],
+                          ) -> list[SensingResult]:
+    """The fused vectorized path for one key-homogeneous group."""
+    config = key.config
+    radar = radar_for(config)
+
+    ctx = ExecutionContext(
+        array=radar.array, times=np.empty(0, dtype=np.float64),
+        config=config, max_range=key.max_range, min_range=config.min_range,
+    )
+    ctx.workspace["radar"] = radar
+    ctx.workspace["items"] = items
+    execute(_FUSED_PLAN, ctx)
+
+    raw_profiles = ctx.workspace["raw_profiles"]
+    frame_offsets = ctx.workspace["frame_offsets"]
+    power_cubes = ctx.workspace["power_cubes"]
+    ranges = ctx.workspace["ranges"]
+    angles = ctx.workspace["angles"]
 
     results: list[SensingResult] = []
-    for i, times in enumerate(times_list):
+    for i, times in enumerate(ctx.workspace["times_list"]):
         frame_slice = slice(int(frame_offsets[i]), int(frame_offsets[i + 1]))
         raw_slice = raw_profiles[frame_slice]
         sweep = SweepProcessingResult(raw_profiles=raw_slice,

@@ -1,0 +1,14 @@
+"""Bad fixture for RFP009: backend branching outside the kernel registry."""
+
+from repro.config import get_pipeline_backend, get_synth_backend
+
+
+def synthesize(components: list, config: object) -> str:
+    if get_synth_backend() == "naive":
+        return "per-frame loop"
+    return "packed batch"
+
+
+def beamform(profiles: object) -> str:
+    backend = get_pipeline_backend()
+    return f"dispatching to {backend}"

@@ -1,0 +1,13 @@
+"""Good fixture for RFP009: kernels resolve through the stage registry."""
+
+from repro.radar.stages import KERNELS, Stage
+
+
+def synthesize(components: list, config: object) -> object:
+    kernel = KERNELS.resolve(Stage.SYNTHESIZE)
+    return kernel
+
+
+def beamform(profiles: object) -> object:
+    # Explicit backend requests also stay inside the registry.
+    return KERNELS.resolve(Stage.BEAMFORM, "naive")

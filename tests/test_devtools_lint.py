@@ -43,6 +43,7 @@ RULE_DISPLAY_PATHS = {
     "RFP006": "src/repro/module.py",
     "RFP007": "tests/test_module.py",
     "RFP008": "src/repro/serve/module.py",
+    "RFP009": "src/repro/radar/module.py",
 }
 
 RULE_IDS = sorted(RULE_DISPLAY_PATHS)
@@ -54,7 +55,7 @@ def lint_fixture(name: str, display_path: str):
 
 
 class TestRegistry:
-    def test_all_eight_rules_registered(self):
+    def test_all_nine_rules_registered(self):
         assert sorted(all_rules()) == RULE_IDS
 
     def test_rules_have_docs_and_titles(self):
@@ -133,6 +134,13 @@ class TestScoping:
         text = (FIXTURES / "rfp008_bad.py").read_text(encoding="utf-8")
         assert lint_source(text, "src/repro/serve/module.py")
         assert lint_source(text, "src/repro/radar/module.py") == []
+
+    def test_rfp009_exempts_the_stage_registry_module(self):
+        text = (FIXTURES / "rfp009_bad.py").read_text(encoding="utf-8")
+        assert lint_source(text, "src/repro/radar/module.py")
+        assert lint_source(text, "src/repro/serve/module.py")
+        assert lint_source(text, "src/repro/radar/stages.py") == []
+        assert lint_source(text, "src/repro/gan/module.py") == []
 
     def test_fixture_corpus_excluded_from_directory_walk(self):
         result = lint_paths([str(REPO_ROOT / "tests")], LintConfig())

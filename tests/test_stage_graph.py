@@ -1,0 +1,288 @@
+"""Tests for the stage-graph executor and kernel registry.
+
+The registry is the single backend-dispatch point (RFP009 enforces that
+statically); these tests pin its dynamic behavior — registration,
+resolution order (explicit backend > per-call overrides > environment
+default), per-stage instrumentation, and the per-call backend knobs on
+both radar families — plus the pulsed naive-vs-vectorized receive
+equivalence that the shared Beamform stage makes possible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry import Rectangle
+from repro.radar import (
+    KERNELS,
+    RECEIVE_PLAN,
+    SENSE_PLAN,
+    ExecutionContext,
+    FmcwRadar,
+    KernelRegistry,
+    PulsedRadar,
+    PulsedRadarConfig,
+    RadarConfig,
+    Scene,
+    Stage,
+    StageBinding,
+    UniformLinearArray,
+    backend_overrides,
+    default_backend,
+    execute,
+    frame_synthesizer,
+    stage_metrics,
+    synthesize_frame_naive,
+    synthesize_frame_vectorized,
+)
+from repro.radar.stages import SHARED_BACKEND
+from repro.serve.engine import ExecutionItem, execute_batch
+from repro.serve.request import BatchKey, SenseRequest
+from repro.signal.chirp import ChirpConfig
+from repro.types import Trajectory
+
+ATOL = 1e-10
+
+
+@pytest.fixture(scope="module")
+def config() -> RadarConfig:
+    return RadarConfig(chirp=ChirpConfig(duration=6.4e-5))
+
+
+@pytest.fixture(scope="module")
+def scene() -> Scene:
+    room = Rectangle(0.0, 0.0, 8.0, 6.0)
+    built = Scene(room)
+    built.add_static((2.0, 3.0))
+    walk = Trajectory(np.linspace([2.0, 2.0], [5.0, 4.0], 30), dt=0.1)
+    built.add_human(walk)
+    return built
+
+
+def snapshot_counts() -> dict[str, int]:
+    histograms = stage_metrics().snapshot()["histograms"]
+    return {name: data["count"] for name, data in histograms.items()}
+
+
+class TestRegistry:
+    def test_backend_inventory(self):
+        assert KERNELS.backends(Stage.SYNTHESIZE) == ("naive", "vectorized")
+        assert KERNELS.backends(Stage.RANGE_FFT) == ("naive", "vectorized")
+        assert KERNELS.backends(Stage.BACKGROUND_SUBTRACT) == (
+            "naive", "vectorized")
+        assert KERNELS.backends(Stage.BEAMFORM) == ("naive", "vectorized")
+        assert KERNELS.backends(Stage.EMIT) == (SHARED_BACKEND,)
+        assert KERNELS.backends(Stage.DETECT) == (SHARED_BACKEND,)
+
+    def test_resolve_explicit_backend(self):
+        kernel = KERNELS.resolve(Stage.BEAMFORM, "naive")
+        assert kernel.stage is Stage.BEAMFORM
+        assert kernel.backend == "naive"
+
+    def test_resolve_default_follows_environment(self, monkeypatch):
+        monkeypatch.setenv("RF_PROTECT_SYNTH", "naive")
+        assert default_backend(Stage.SYNTHESIZE) == "naive"
+        assert KERNELS.resolve(Stage.SYNTHESIZE).backend == "naive"
+        monkeypatch.setenv("RF_PROTECT_SYNTH", "vectorized")
+        assert KERNELS.resolve(Stage.SYNTHESIZE).backend == "vectorized"
+
+    def test_pipeline_stages_follow_pipeline_env(self, monkeypatch):
+        monkeypatch.setenv("RF_PROTECT_PIPELINE", "naive")
+        for stage in (Stage.RANGE_FFT, Stage.BACKGROUND_SUBTRACT,
+                      Stage.BEAMFORM):
+            assert default_backend(stage) == "naive"
+
+    def test_shared_stages_ignore_environment(self, monkeypatch):
+        monkeypatch.setenv("RF_PROTECT_SYNTH", "naive")
+        monkeypatch.setenv("RF_PROTECT_PIPELINE", "naive")
+        assert default_backend(Stage.EMIT) == SHARED_BACKEND
+        assert default_backend(Stage.DETECT) == SHARED_BACKEND
+
+    def test_unknown_backend_lists_registered(self):
+        with pytest.raises(ConfigurationError, match="naive"):
+            KERNELS.resolve(Stage.BEAMFORM, "turbo")
+
+    def test_duplicate_registration_rejected(self):
+        registry = KernelRegistry()
+
+        @registry.register(Stage.BEAMFORM, "custom")
+        def first(ctx):
+            pass
+
+        with pytest.raises(ConfigurationError, match="already registered"):
+            @registry.register(Stage.BEAMFORM, "custom")
+            def second(ctx):
+                pass
+
+    def test_backend_overrides_vocabulary(self):
+        overrides = backend_overrides(synth="naive", pipeline="vectorized")
+        assert overrides[Stage.SYNTHESIZE] == "naive"
+        for stage in (Stage.RANGE_FFT, Stage.BACKGROUND_SUBTRACT,
+                      Stage.BEAMFORM):
+            assert overrides[stage] == "vectorized"
+        assert backend_overrides() == {}
+
+    def test_frame_synthesizer_dispatch(self):
+        assert frame_synthesizer("naive") is synthesize_frame_naive
+        assert frame_synthesizer("vectorized") is synthesize_frame_vectorized
+        with pytest.raises(ConfigurationError):
+            frame_synthesizer("turbo")
+
+
+class TestExecutionContext:
+    def test_buffer_reused_when_compatible(self, config):
+        ctx = ExecutionContext(array=UniformLinearArray(config),
+                               times=np.zeros(1))
+        first = ctx.buffer("scratch", (4, 3), np.complex128)
+        second = ctx.buffer("scratch", (4, 3), np.complex128)
+        assert second is first
+
+    def test_buffer_reallocates_on_mismatch(self, config):
+        ctx = ExecutionContext(array=UniformLinearArray(config),
+                               times=np.zeros(1))
+        first = ctx.buffer("scratch", (4, 3), np.complex128)
+        assert ctx.buffer("scratch", (5, 3), np.complex128) is not first
+        assert ctx.buffer("scratch", (5, 3), np.float64).dtype == np.float64
+
+    def test_buffer_never_returns_readonly(self, config):
+        ctx = ExecutionContext(array=UniformLinearArray(config),
+                               times=np.zeros(1))
+        frozen = np.zeros((2, 2))
+        frozen.flags.writeable = False
+        ctx.workspace["scratch"] = frozen
+        fresh = ctx.buffer("scratch", (2, 2), np.float64)
+        assert fresh is not frozen
+        assert fresh.flags.writeable
+
+
+class TestExecutor:
+    def test_explicit_kernel_binding_runs_and_is_labeled(self, config):
+        calls = []
+
+        def custom(ctx: ExecutionContext) -> None:
+            calls.append(ctx)
+            ctx.workspace["marker"] = 42
+
+        ctx = ExecutionContext(array=UniformLinearArray(config),
+                               times=np.zeros(1))
+        before = snapshot_counts()
+        execute((StageBinding(Stage.BEAMFORM, kernel=custom),), ctx)
+        after = snapshot_counts()
+        assert calls == [ctx]
+        assert ctx.workspace["marker"] == 42
+        assert (after["stages.beamform.wall_s"]
+                == before.get("stages.beamform.wall_s", 0) + 1)
+        counters = stage_metrics().snapshot()["counters"]
+        assert counters["stages.beamform.custom.runs"] >= 1
+
+    def test_binding_backend_beats_context_override(self, config):
+        # Pin via StageBinding.backend while ctx.overrides says otherwise:
+        # the binding wins and the vectorized run counter moves.
+        ctx = ExecutionContext(
+            array=UniformLinearArray(config), times=np.zeros(2),
+            config=config, overrides={Stage.RANGE_FFT: "naive"},
+        )
+        ctx.workspace["frames"] = np.zeros(
+            (2, config.num_antennas, config.chirp.num_samples), dtype=complex)
+        counters_before = dict(stage_metrics().snapshot()["counters"])
+        execute((StageBinding(Stage.RANGE_FFT, backend="vectorized"),), ctx)
+        counters_after = stage_metrics().snapshot()["counters"]
+        assert (counters_after["stages.range_fft.vectorized.runs"]
+                == counters_before.get("stages.range_fft.vectorized.runs", 0)
+                + 1)
+        assert (counters_after.get("stages.range_fft.naive.runs", 0)
+                == counters_before.get("stages.range_fft.naive.runs", 0))
+
+    def test_sense_populates_every_stage_histogram(self, config, scene):
+        radar = FmcwRadar(config)
+        before = snapshot_counts()
+        result = radar.sense(scene, 0.5, rng=np.random.default_rng(3))
+        result.tracks()
+        after = snapshot_counts()
+        for stage in Stage:
+            name = f"stages.{stage.value}.wall_s"
+            assert after.get(name, 0) > before.get(name, 0), name
+
+
+class TestPerCallOverrides:
+    def test_fmcw_backend_knobs_agree(self, config, scene):
+        radar = FmcwRadar(config)
+        naive = radar.sense(scene, 0.5, rng=np.random.default_rng(7),
+                            synth="naive", pipeline="naive")
+        vectorized = radar.sense(scene, 0.5, rng=np.random.default_rng(7),
+                                 synth="vectorized", pipeline="vectorized")
+        for ref, fast in zip(naive.profiles, vectorized.profiles):
+            np.testing.assert_allclose(fast.power, ref.power, atol=ATOL)
+        np.testing.assert_allclose(vectorized.raw_profiles,
+                                   naive.raw_profiles, atol=ATOL)
+
+    def test_fmcw_unknown_backend_rejected(self, config, scene):
+        radar = FmcwRadar(config)
+        with pytest.raises(ConfigurationError, match="turbo"):
+            radar.sense(scene, 0.5, synth="turbo")
+
+    def test_pulsed_receive_backends_agree(self, scene):
+        """Satellite: pulsed naive and vectorized receive kernels match.
+
+        Both run through the shared BackgroundSubtract/Beamform stages of
+        the registry, so the pulsed radar inherits the same per-call knob
+        as the FMCW radar.
+        """
+        radar = PulsedRadar(PulsedRadarConfig(sample_rate=2.0e9,
+                                              max_range=10.0))
+        naive = radar.sense(scene, 0.6, rng=np.random.default_rng(5),
+                            pipeline="naive")
+        vectorized = radar.sense(scene, 0.6, rng=np.random.default_rng(5),
+                                 pipeline="vectorized")
+        assert len(naive.profiles) == len(vectorized.profiles)
+        for ref, fast in zip(naive.profiles, vectorized.profiles):
+            np.testing.assert_allclose(fast.power, ref.power, atol=ATOL)
+            np.testing.assert_allclose(fast.ranges, ref.ranges, atol=ATOL)
+
+    def test_receive_plan_reusable_standalone(self, config):
+        """RECEIVE_PLAN processes a raw beat cube without a scene."""
+        rng = np.random.default_rng(9)
+        shape = (4, config.num_antennas, config.chirp.num_samples)
+        frames = 0.05 * (rng.normal(size=shape) + 1j * rng.normal(size=shape))
+        results = {}
+        for backend in ("naive", "vectorized"):
+            ctx = ExecutionContext(
+                array=UniformLinearArray(config),
+                times=np.arange(4) / config.frame_rate, config=config,
+                max_range=8.0, min_range=config.min_range,
+                overrides=backend_overrides(pipeline=backend),
+            )
+            ctx.workspace["frames"] = frames
+            execute(RECEIVE_PLAN, ctx)
+            results[backend] = ctx.workspace["profiles"]
+        for ref, fast in zip(results["naive"], results["vectorized"]):
+            np.testing.assert_allclose(fast.power, ref.power, atol=ATOL)
+
+
+class TestServeInstrumentation:
+    def test_execute_batch_lands_in_stage_histograms(self, config, scene):
+        requests = [SenseRequest(scene=scene, duration=0.4, seed=s)
+                    for s in (0, 1)]
+        key = BatchKey(config=config, max_range=10.0)
+        items = [ExecutionItem(request_id=i, request=r, key=key)
+                 for i, r in enumerate(requests)]
+        before = snapshot_counts()
+        outcomes = execute_batch(items)
+        after = snapshot_counts()
+        assert all(o.result is not None for o in outcomes)
+        for stage in (Stage.EMIT, Stage.SYNTHESIZE, Stage.RANGE_FFT,
+                      Stage.BACKGROUND_SUBTRACT, Stage.BEAMFORM):
+            name = f"stages.{stage.value}.wall_s"
+            assert after.get(name, 0) > before.get(name, 0), name
+        counters = stage_metrics().snapshot()["counters"]
+        assert counters["stages.synthesize.fused.runs"] >= 1
+        assert counters["stages.beamform.fused.runs"] >= 1
+
+    def test_plan_constants_cover_the_chain(self):
+        assert [b.stage for b in SENSE_PLAN] == [
+            Stage.EMIT, Stage.SYNTHESIZE, Stage.RANGE_FFT,
+            Stage.BACKGROUND_SUBTRACT, Stage.BEAMFORM,
+        ]
+        assert RECEIVE_PLAN == SENSE_PLAN[2:]
