@@ -40,6 +40,10 @@ __all__ = [
     "SERVE_MAX_BATCH_VAR",
     "SERVE_QUEUE_DEPTH_VAR",
     "SERVE_WORKERS_VAR",
+    "SESSION_IDLE_S_VAR",
+    "SESSION_MAX_LIVE_VAR",
+    "SESSION_MAX_SESSIONS_VAR",
+    "SESSION_SWEEP_S_VAR",
     "SYNTH_BACKENDS",
     "SYNTH_BACKEND_VAR",
     "get_pipeline_backend",
@@ -48,6 +52,10 @@ __all__ = [
     "get_serve_max_batch",
     "get_serve_queue_depth",
     "get_serve_workers",
+    "get_session_idle_s",
+    "get_session_max_live",
+    "get_session_max_sessions",
+    "get_session_sweep_s",
     "get_synth_backend",
 ]
 
@@ -228,6 +236,53 @@ SERVE_WORKERS_VAR: EnvVar[int] = _register(
 )
 
 
+SESSION_MAX_LIVE_VAR: EnvVar[int] = _register(
+    EnvVar(
+        name="RF_PROTECT_SESSION_MAX_LIVE",
+        default=64,
+        parse=_positive_int_parser("RF_PROTECT_SESSION_MAX_LIVE"),
+        description="tracking sessions kept live (full tracker state in "
+                    "memory) before the least-recently-used ones are parked "
+                    "to compact checkpoints",
+    )
+)
+
+
+SESSION_MAX_SESSIONS_VAR: EnvVar[int] = _register(
+    EnvVar(
+        name="RF_PROTECT_SESSION_MAX_SESSIONS",
+        default=1024,
+        parse=_positive_int_parser("RF_PROTECT_SESSION_MAX_SESSIONS"),
+        description="total tracking sessions (live + parked checkpoints) "
+                    "the session store retains before dropping the "
+                    "least-recently-used ones entirely",
+    )
+)
+
+
+SESSION_IDLE_S_VAR: EnvVar[float] = _register(
+    EnvVar(
+        name="RF_PROTECT_SESSION_IDLE_S",
+        default=60.0,
+        parse=_positive_float_parser("RF_PROTECT_SESSION_IDLE_S"),
+        description="seconds a tracking session may sit without ingesting a "
+                    "frame before the eviction sweep parks its tracker "
+                    "state to a checkpoint",
+    )
+)
+
+
+SESSION_SWEEP_S_VAR: EnvVar[float] = _register(
+    EnvVar(
+        name="RF_PROTECT_SESSION_SWEEP_S",
+        default=5.0,
+        parse=_positive_float_parser("RF_PROTECT_SESSION_SWEEP_S"),
+        description="cadence in seconds of the service's idle-session "
+                    "eviction sweep",
+    )
+)
+
+
 def get_synth_backend(environ: Mapping[str, str] | None = None) -> str:
     """The active synthesis kernel name, from ``RF_PROTECT_SYNTH``."""
     return SYNTH_BACKEND_VAR.read(environ)
@@ -263,6 +318,26 @@ def get_serve_workers(environ: Mapping[str, str] | None = None) -> int:
     return SERVE_WORKERS_VAR.read(environ)
 
 
+def get_session_max_live(environ: Mapping[str, str] | None = None) -> int:
+    """Live tracking-session bound, from ``RF_PROTECT_SESSION_MAX_LIVE``."""
+    return SESSION_MAX_LIVE_VAR.read(environ)
+
+
+def get_session_max_sessions(environ: Mapping[str, str] | None = None) -> int:
+    """Total session retention bound, from ``RF_PROTECT_SESSION_MAX_SESSIONS``."""
+    return SESSION_MAX_SESSIONS_VAR.read(environ)
+
+
+def get_session_idle_s(environ: Mapping[str, str] | None = None) -> float:
+    """Idle-session parking threshold (s), from ``RF_PROTECT_SESSION_IDLE_S``."""
+    return SESSION_IDLE_S_VAR.read(environ)
+
+
+def get_session_sweep_s(environ: Mapping[str, str] | None = None) -> float:
+    """Eviction-sweep cadence (s), from ``RF_PROTECT_SESSION_SWEEP_S``."""
+    return SESSION_SWEEP_S_VAR.read(environ)
+
+
 #: Accessor for every declared variable, keyed by variable name. Tests use
 #: this to prove the registry is complete: a knob declared without a typed
 #: accessor (or vice versa) fails ``tests/test_config_registry.py``.
@@ -274,4 +349,8 @@ ENV_ACCESSORS: dict[str, Callable[[Mapping[str, str] | None], object]] = {
     "RF_PROTECT_SERVE_QUEUE_DEPTH": get_serve_queue_depth,
     "RF_PROTECT_SERVE_DEADLINE_S": get_serve_deadline_s,
     "RF_PROTECT_SERVE_WORKERS": get_serve_workers,
+    "RF_PROTECT_SESSION_MAX_LIVE": get_session_max_live,
+    "RF_PROTECT_SESSION_MAX_SESSIONS": get_session_max_sessions,
+    "RF_PROTECT_SESSION_IDLE_S": get_session_idle_s,
+    "RF_PROTECT_SESSION_SWEEP_S": get_session_sweep_s,
 }

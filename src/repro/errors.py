@@ -62,3 +62,7 @@ class DeadlineExceededError(ServeError):
 
 class ServiceClosedError(ServeError):
     """A request was submitted to a service that is not running."""
+
+
+class SessionNotFoundError(ServeError):
+    """A tracked request named a session the store does not hold."""

@@ -67,7 +67,15 @@ from repro.radar.stages import (
     frame_synthesizer,
     stage_metrics,
 )
-from repro.radar.tracker import KalmanTracker2D, TrackerConfig, extract_tracks
+from repro.radar.tracker import (
+    KalmanTracker2D,
+    StreamingTracker,
+    Track,
+    TrackerConfig,
+    extract_tracks,
+    hungarian_assignment,
+    track_detections,
+)
 
 __all__ = [
     "ChannelModel",
@@ -95,7 +103,9 @@ __all__ = [
     "StageBinding",
     "StageKernel",
     "StaticReflector",
+    "StreamingTracker",
     "SweepProcessingResult",
+    "Track",
     "TrackerConfig",
     "UniformLinearArray",
     "ZERO_PAD_FACTOR",
@@ -113,6 +123,7 @@ __all__ = [
     "compute_range_angle_map",
     "extract_tracks",
     "frame_range_profiles",
+    "hungarian_assignment",
     "pack_components",
     "pipeline_backend",
     "process_sweep",
@@ -123,4 +134,5 @@ __all__ = [
     "synthesize_frame_naive",
     "synthesize_frame_vectorized",
     "synthesize_frames",
+    "track_detections",
 ]

@@ -39,6 +39,7 @@ Workspace slots (the inter-stage contract)::
     angles       (A,) float                 Beamform output
     power_cube   (F, B_kept, A) float       Beamform output (vectorized)
     profiles     list[RangeAngleProfile]    Beamform -> Detect
+    tracker      StreamingTracker           Detect (streaming) carry-over state
     tracks       list[Track]                Detect output
 
 Kernel arithmetic is taken verbatim from the pre-refactor paths, so the
@@ -78,7 +79,12 @@ from repro.radar.processing import (
     frame_range_profiles,
     range_keep_mask,
 )
-from repro.radar.tracker import Track, TrackerConfig, extract_tracks
+from repro.radar.tracker import (
+    StreamingTracker,
+    Track,
+    TrackerConfig,
+    extract_tracks,
+)
 from repro.signal.phase import extract_phase
 from repro.signal.spectral import range_axis
 from repro.types import Trajectory
@@ -115,8 +121,10 @@ STAGE_TIME_BUCKETS: tuple[float, ...] = (
     1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
 )
 
-#: Backend name for stages that have exactly one kernel (Emit, Detect):
-#: emission order and tracking are invariants, not performance choices.
+#: Default backend name for the invariant stages (Emit, Detect): emission
+#: order and tracking are algorithmic contracts, not performance choices.
+#: Detect additionally registers a ``"streaming"`` kernel that drives the
+#: incremental tracker frame by frame — same tracks by construction.
 SHARED_BACKEND = "shared"
 
 
@@ -626,6 +634,28 @@ def _detect_tracks(ctx: ExecutionContext) -> None:
     )
 
 
+@KERNELS.register(Stage.DETECT, "streaming")
+def _detect_tracks_streaming(ctx: ExecutionContext) -> None:
+    """Frame-at-a-time Detect: drives the incremental tracker.
+
+    Ingests the workspace profiles one by one into a
+    :class:`StreamingTracker` — resuming the tracker already in
+    ``workspace["tracker"]`` when one is present, which is how a serving
+    session appends new frames to its long-lived tracker state through
+    the instrumented executor. ``stream(frames) == batch(frames)`` holds
+    by construction (the batch kernel is this loop inlined), and the
+    property suite pins it.
+    """
+    tracker = ctx.workspace.get("tracker")
+    if tracker is None:
+        tracker = StreamingTracker(ctx.array,
+                                   ctx.workspace.get("tracker_config"))
+        ctx.workspace["tracker"] = tracker
+    for profile in ctx.workspace["profiles"]:
+        tracker.ingest(profile)
+    ctx.workspace["tracks"] = tracker.tracks()
+
+
 class TrackedResultMixin:
     """Shared post-processing for sensing results (FMCW and pulsed).
 
@@ -653,6 +683,28 @@ class TrackedResultMixin:
         execute((StageBinding(Stage.DETECT),), ctx)
         result: list[Track] = ctx.workspace["tracks"]
         return result
+
+    def stream_tracks(self, tracker_config: TrackerConfig | None = None,
+                      tracker: StreamingTracker | None = None,
+                      ) -> StreamingTracker:
+        """Feed the profiles frame-by-frame into an incremental tracker.
+
+        Runs the Detect stage's ``"streaming"`` kernel through the
+        instrumented executor and returns the primed
+        :class:`StreamingTracker` — read ``tracks()`` off it, keep
+        ingesting later profiles, or checkpoint it. Pass ``tracker`` to
+        continue an existing session instead of starting fresh;
+        ``tracker_config`` is ignored in that case (the tracker already
+        owns its config).
+        """
+        ctx = ExecutionContext(array=self.array, times=self.times)
+        ctx.workspace["profiles"] = self.profiles
+        ctx.workspace["tracker_config"] = tracker_config
+        if tracker is not None:
+            ctx.workspace["tracker"] = tracker
+        execute((StageBinding(Stage.DETECT, backend="streaming"),), ctx)
+        primed: StreamingTracker = ctx.workspace["tracker"]
+        return primed
 
     def trajectories(self, tracker_config: TrackerConfig | None = None,
                      *, smooth: bool = True) -> list[Trajectory]:

@@ -1,14 +1,35 @@
 """Trajectory extraction: peaks -> tracks via gating + Kalman filtering.
 
 Implements the eavesdropper algorithms of Sec. 2/9.1: per-frame peak
-detection on the range-angle map, nearest-neighbour association into tracks,
-a constant-velocity Kalman filter per track, and the time smoothing / peak
-rejection the paper applies before reporting trajectories.
+detection on the range-angle map, detection-to-track association into
+tracks, a constant-velocity Kalman filter per track, and the time
+smoothing / peak rejection the paper applies before reporting
+trajectories.
+
+The module is built around :class:`StreamingTracker`, an *incremental*
+multi-target tracker: it ingests one :class:`RangeAngleProfile` (or one
+pre-detected frame) at a time, maintains persistent track identities
+across frames, coasts through occlusions/missed frames on the Kalman
+prediction, and can checkpoint/restore its complete state as a
+JSON-serializable blob (the substrate of the serving layer's long-lived
+tracking sessions, :mod:`repro.serve.session`). The historical batch
+entry point :func:`extract_tracks` is a thin driver over the streaming
+core, so ``stream(frames)`` and ``batch(frames)`` are the same
+computation by construction — a property pinned track-for-track by
+``tests/test_property_tracker.py``.
+
+Detection-to-track association solves a gated minimum-cost assignment
+(`scipy.optimize.linear_sum_assignment` when scipy is importable, the
+in-repo :func:`hungarian_assignment` otherwise); a greedy
+closest-pair-first mode is kept as ``TrackerConfig(association="greedy")``.
+All candidate orderings are canonicalized, so tracks — including their
+persistent IDs — are independent of detection input order.
 """
 
 from __future__ import annotations
 
 import dataclasses
+from typing import Any, Callable
 
 import numpy as np
 
@@ -18,7 +39,27 @@ from repro.radar.processing import RangeAngleProfile
 from repro.signal.filtering import smooth_trajectory
 from repro.types import Trajectory
 
-__all__ = ["KalmanTracker2D", "Track", "TrackerConfig", "extract_tracks"]
+try:  # pragma: no cover - exercised via the import-time branch taken
+    from scipy.optimize import linear_sum_assignment as _scipy_assignment
+except ImportError:  # pragma: no cover - container always has scipy
+    _scipy_assignment = None
+
+__all__ = [
+    "ASSOCIATION_MODES",
+    "KalmanTracker2D",
+    "StreamingTracker",
+    "Track",
+    "TrackerConfig",
+    "extract_tracks",
+    "hungarian_assignment",
+    "track_detections",
+]
+
+#: Recognized detection-to-track association solvers.
+ASSOCIATION_MODES: tuple[str, ...] = ("hungarian", "greedy")
+
+#: One detection: a Cartesian ``(x, y)`` position and its peak power.
+Detection = tuple[np.ndarray, float]
 
 
 class KalmanTracker2D:
@@ -87,6 +128,28 @@ class KalmanTracker2D:
         self.covariance = (np.eye(4) - gain @ observation) @ self.covariance
         return self.position
 
+    def to_state(self) -> dict[str, Any]:
+        """Complete filter state as a JSON-serializable dict."""
+        return {
+            "state": [float(v) for v in self.state],
+            "covariance": [[float(v) for v in row]
+                           for row in self.covariance],
+            "process_noise": float(self.process_noise),
+            "measurement_noise": float(self.measurement_noise),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, Any]) -> KalmanTracker2D:
+        """Rebuild a filter bit-for-bit from :meth:`to_state` output."""
+        filter_ = cls(
+            np.asarray(state["state"][:2], dtype=float),
+            process_noise=float(state["process_noise"]),
+            measurement_noise=float(state["measurement_noise"]),
+        )
+        filter_.state = np.asarray(state["state"], dtype=float)
+        filter_.covariance = np.asarray(state["covariance"], dtype=float)
+        return filter_
+
 
 @dataclasses.dataclass(frozen=True)
 class TrackerConfig:
@@ -102,6 +165,13 @@ class TrackerConfig:
         max_targets: peaks kept per frame.
         smoothing_window: moving-window size of the final smoothing pass.
         max_jump: outlier-rejection jump bound for the smoother, meters.
+        min_hit_ratio: minimum detections-per-spanned-frame consistency.
+        min_relative_power_db: power floor relative to the strongest
+            concurrent track.
+        cluster_radius: blob-merging radius for per-frame detections.
+        association: detection-to-track assignment solver —
+            ``"hungarian"`` (gated global minimum-cost assignment) or
+            ``"greedy"`` (closest pairs first, the historical behavior).
     """
 
     threshold_factor: float = 25.0
@@ -114,6 +184,7 @@ class TrackerConfig:
     min_hit_ratio: float = 0.55
     min_relative_power_db: float = 18.0
     cluster_radius: float = 1.0
+    association: str = "hungarian"
 
     def __post_init__(self) -> None:
         if self.threshold_factor <= 0:
@@ -132,19 +203,45 @@ class TrackerConfig:
             raise ConfigurationError("min_relative_power_db must be positive")
         if self.cluster_radius < 0:
             raise ConfigurationError("cluster_radius must be >= 0")
+        if self.association not in ASSOCIATION_MODES:
+            raise ConfigurationError(
+                f"association must be one of {ASSOCIATION_MODES}, "
+                f"got {self.association!r}"
+            )
+
+    def to_state(self) -> dict[str, Any]:
+        """The configuration as a JSON-serializable dict."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_state(cls, state: dict[str, Any]) -> TrackerConfig:
+        """Rebuild (and re-validate) a config from :meth:`to_state` output."""
+        return cls(**state)
 
 
 class Track:
-    """One tracked target: timestamps, positions, and detection powers."""
+    """One tracked target: timestamps, positions, and detection powers.
+
+    A track carries a persistent ``track_id`` assigned by the tracker at
+    spawn time and stable for the track's whole life — the identity the
+    adversary model cares about. ``age`` counts frames the track has
+    existed (hits and misses both), ``misses`` counts *consecutive*
+    missed frames (reset on every hit), ``total_misses`` counts all of
+    them.
+    """
 
     def __init__(self, time: float, position: np.ndarray,
-                 config: TrackerConfig, power: float = 0.0) -> None:
+                 config: TrackerConfig, power: float = 0.0,
+                 track_id: int = 0) -> None:
         self._config = config
+        self.track_id = track_id
         self.times: list[float] = [time]
         self.raw_positions: list[np.ndarray] = [np.asarray(position, dtype=float)]
         self.powers: list[float] = [power]
         self.filter = KalmanTracker2D(position)
         self.misses = 0
+        self.total_misses = 0
+        self.age = 1
         self._last_time = time
 
     def __len__(self) -> int:
@@ -167,6 +264,7 @@ class Track:
         self.raw_positions.append(filtered)
         self.powers.append(power)
         self.misses = 0
+        self.age += 1
         self._last_time = time
 
     @property
@@ -180,7 +278,15 @@ class Track:
         return float(sum(self.powers))
 
     def mark_missed(self) -> None:
+        """Record a frame with no associated detection (occlusion/dropout).
+
+        The track is not updated — it coasts on the Kalman prediction and
+        recovers if a detection re-enters its gate before ``max_misses``
+        consecutive frames elapse.
+        """
         self.misses += 1
+        self.total_misses += 1
+        self.age += 1
 
     @property
     def alive(self) -> bool:
@@ -203,71 +309,430 @@ class Track:
                                        max_jump=self._config.max_jump)
         return Trajectory(points, dt=dt)
 
+    def to_state(self) -> dict[str, Any]:
+        """Complete track state as a JSON-serializable dict."""
+        return {
+            "track_id": int(self.track_id),
+            "times": [float(t) for t in self.times],
+            "positions": [[float(p[0]), float(p[1])]
+                          for p in self.raw_positions],
+            "powers": [float(p) for p in self.powers],
+            "filter": self.filter.to_state(),
+            "misses": int(self.misses),
+            "total_misses": int(self.total_misses),
+            "age": int(self.age),
+            "last_time": float(self._last_time),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, Any],
+                   config: TrackerConfig) -> Track:
+        """Rebuild a track bit-for-bit from :meth:`to_state` output."""
+        track = cls(state["times"][0],
+                    np.asarray(state["positions"][0], dtype=float),
+                    config, power=state["powers"][0],
+                    track_id=int(state["track_id"]))
+        track.times = [float(t) for t in state["times"]]
+        track.raw_positions = [np.asarray(p, dtype=float)
+                               for p in state["positions"]]
+        track.powers = [float(p) for p in state["powers"]]
+        track.filter = KalmanTracker2D.from_state(state["filter"])
+        track.misses = int(state["misses"])
+        track.total_misses = int(state["total_misses"])
+        track.age = int(state["age"])
+        track._last_time = float(state["last_time"])
+        return track
+
+
+# --------------------------------------------------------------------------
+# Assignment solvers
+# --------------------------------------------------------------------------
+
+
+def hungarian_assignment(cost: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Minimum-cost rectangular assignment (in-repo Hungarian solver).
+
+    A dependency-free stand-in for ``scipy.optimize.linear_sum_assignment``
+    (the potentials/augmenting-path formulation, O(n^2 m)): returns
+    ``(row_indices, col_indices)`` of an assignment of every row (or every
+    column, whichever side is smaller) minimizing the summed cost, with
+    rows sorted ascending. Property-tested cost-equal to scipy in
+    ``tests/test_property_tracker.py``.
+    """
+    matrix = np.asarray(cost, dtype=float)
+    if matrix.ndim != 2:
+        raise TrackingError(
+            f"cost matrix must be 2-D, got shape {matrix.shape}"
+        )
+    if matrix.size == 0:
+        return (np.empty(0, dtype=np.intp), np.empty(0, dtype=np.intp))
+    if not np.all(np.isfinite(matrix)):
+        raise TrackingError("cost matrix entries must be finite")
+    transposed = matrix.shape[0] > matrix.shape[1]
+    if transposed:
+        matrix = matrix.T
+    num_rows, num_cols = matrix.shape
+
+    # 1-based potentials formulation; column 0 is the virtual free column.
+    row_potential = np.zeros(num_rows + 1, dtype=float)
+    col_potential = np.zeros(num_cols + 1, dtype=float)
+    matched_row = np.zeros(num_cols + 1, dtype=np.intp)  # col -> row, 0=free
+    predecessor = np.zeros(num_cols + 1, dtype=np.intp)
+    for row in range(1, num_rows + 1):
+        matched_row[0] = row
+        active_col = 0
+        min_reduced = np.full(num_cols + 1, np.inf, dtype=np.float64)
+        visited = np.zeros(num_cols + 1, dtype=bool)
+        while True:
+            visited[active_col] = True
+            pivot_row = matched_row[active_col]
+            delta = np.inf
+            next_col = 0
+            for col in range(1, num_cols + 1):
+                if visited[col]:
+                    continue
+                reduced = (matrix[pivot_row - 1, col - 1]
+                           - row_potential[pivot_row] - col_potential[col])
+                if reduced < min_reduced[col]:
+                    min_reduced[col] = reduced
+                    predecessor[col] = active_col
+                if min_reduced[col] < delta:
+                    delta = min_reduced[col]
+                    next_col = col
+            for col in range(num_cols + 1):
+                if visited[col]:
+                    row_potential[matched_row[col]] += delta
+                    col_potential[col] -= delta
+                else:
+                    min_reduced[col] -= delta
+            active_col = next_col
+            if matched_row[active_col] == 0:
+                break
+        while active_col:
+            previous_col = predecessor[active_col]
+            matched_row[active_col] = matched_row[previous_col]
+            active_col = previous_col
+
+    rows = []
+    cols = []
+    for col in range(1, num_cols + 1):
+        if matched_row[col]:
+            rows.append(int(matched_row[col]) - 1)
+            cols.append(col - 1)
+    order = np.argsort(np.asarray(rows, dtype=np.intp), kind="stable")
+    row_indices = np.asarray(rows, dtype=np.intp)[order]
+    col_indices = np.asarray(cols, dtype=np.intp)[order]
+    if transposed:
+        return col_indices, row_indices
+    return row_indices, col_indices
+
+
+def _assign_min_cost(cost: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Dispatch to scipy's assignment solver, or the in-repo fallback."""
+    if _scipy_assignment is not None:
+        rows, cols = _scipy_assignment(cost)
+        return np.asarray(rows, dtype=np.intp), np.asarray(cols, dtype=np.intp)
+    return hungarian_assignment(cost)
+
+
+def _associate_hungarian(predictions: np.ndarray,
+                         detections: list[Detection],
+                         gate_distance: float) -> list[tuple[int, int]]:
+    """Gated global minimum-cost association: ``(track, detection)`` pairs.
+
+    Out-of-gate pairs enter the cost matrix at a cost so large that any
+    solution is first ranked by how few of them it uses, then by summed
+    in-gate distance; they are stripped from the returned matching.
+    """
+    num_tracks = predictions.shape[0]
+    num_detections = len(detections)
+    if num_tracks == 0 or num_detections == 0:
+        return []
+    positions = np.vstack([position for position, _power in detections])
+    distances = np.linalg.norm(
+        predictions[:, None, :] - positions[None, :, :], axis=2
+    )
+    infeasible = distances > gate_distance
+    # Any assignment using k out-of-gate pairs costs more than any using
+    # k-1: the penalty exceeds the largest possible sum of in-gate costs.
+    penalty = (min(num_tracks, num_detections) + 1.0) * (gate_distance + 1.0)
+    cost = np.where(infeasible, penalty, distances)
+    rows, cols = _assign_min_cost(cost)
+    return [(int(ti), int(di)) for ti, di in zip(rows, cols)
+            if not infeasible[ti, di]]
+
+
+def _associate_greedy(predictions: np.ndarray,
+                      detections: list[Detection],
+                      gate_distance: float) -> list[tuple[int, int]]:
+    """Greedy closest-pairs-first association (the historical behavior).
+
+    Ties on distance break on ``(track index, detection index)``, so the
+    matching is deterministic and — detections being canonically ordered
+    before association — independent of detection input order.
+    """
+    pairs: list[tuple[float, int, int]] = []
+    for ti in range(predictions.shape[0]):
+        for di, (position, _power) in enumerate(detections):
+            distance = float(np.linalg.norm(position - predictions[ti]))
+            if distance <= gate_distance:
+                pairs.append((distance, ti, di))
+    pairs.sort()
+    used_tracks: set[int] = set()
+    used_detections: set[int] = set()
+    matching: list[tuple[int, int]] = []
+    for _distance, ti, di in pairs:
+        if ti in used_tracks or di in used_detections:
+            continue
+        matching.append((ti, di))
+        used_tracks.add(ti)
+        used_detections.add(di)
+    return matching
+
+
+_ASSOCIATORS: dict[
+    str,
+    Callable[[np.ndarray, list[Detection], float], list[tuple[int, int]]],
+] = {
+    "hungarian": _associate_hungarian,
+    "greedy": _associate_greedy,
+}
+
+
+# --------------------------------------------------------------------------
+# The incremental multi-target tracker
+# --------------------------------------------------------------------------
+
+
+class StreamingTracker:
+    """Incremental multi-target tracker over range-angle frames.
+
+    Feed frames one at a time — :meth:`ingest` for a
+    :class:`RangeAngleProfile` (runs the detection front end first),
+    :meth:`ingest_detections` for pre-detected ``(position, power)``
+    frames — and read the current result at any point via :meth:`tracks`
+    (finalized, quality-filtered) or :attr:`active_tracks` (everything
+    still being followed). Streaming a sweep frame-by-frame produces
+    exactly the tracks of batch-processing it: :func:`extract_tracks` is
+    this class driven in a loop.
+
+    The complete tracker state round-trips through
+    :meth:`checkpoint`/:meth:`from_checkpoint` as a JSON-serializable
+    blob — how the serving layer parks idle sessions without losing
+    track identities.
+    """
+
+    #: Checkpoint schema version (bump on incompatible state changes).
+    CHECKPOINT_VERSION = 1
+
+    def __init__(self, array: UniformLinearArray | None = None,
+                 config: TrackerConfig | None = None) -> None:
+        self.array = array
+        self.config = config if config is not None else TrackerConfig()
+        self._associate = _ASSOCIATORS[self.config.association]
+        self._active: list[Track] = []
+        self._finished: list[Track] = []
+        self._frame_times: list[float] = []
+        self._next_track_id = 1
+
+    # -- state views -------------------------------------------------------
+
+    @property
+    def active_tracks(self) -> list[Track]:
+        """Tracks still being followed (any length, including tentative)."""
+        return list(self._active)
+
+    @property
+    def frames_ingested(self) -> int:
+        """How many frames this tracker has consumed."""
+        return len(self._frame_times)
+
+    @property
+    def last_frame_time(self) -> float | None:
+        """Capture time of the most recent frame, or ``None`` before any."""
+        return self._frame_times[-1] if self._frame_times else None
+
+    # -- ingestion ---------------------------------------------------------
+
+    def ingest(self, profile: RangeAngleProfile) -> None:
+        """Consume one range-angle frame: detect, cluster, associate, update."""
+        if self.array is None:
+            raise ConfigurationError(
+                "profile ingestion needs the array geometry; construct "
+                "StreamingTracker(array, ...) or use ingest_detections()"
+            )
+        floor = float(np.median(profile.power))
+        threshold = self.config.threshold_factor * max(floor, 1e-30)
+        peaks = profile.detect(threshold=threshold,
+                               max_peaks=self.config.max_targets)
+        detections = [(profile.peak_position(peak, self.array), peak.power)
+                      for peak in peaks]
+        self.ingest_detections(profile.time, detections)
+
+    def ingest_detections(self, time: float,
+                          detections: list[Detection]) -> None:
+        """Consume one pre-detected frame of ``(position, power)`` pairs.
+
+        Frames must arrive in nondecreasing time order. Detections are
+        clustered and canonically ordered before association, so the
+        resulting tracks (IDs included) do not depend on the input order
+        of ``detections``.
+        """
+        if self._frame_times and time < self._frame_times[-1]:
+            raise TrackingError(
+                f"frames must arrive in time order: got t={time} after "
+                f"t={self._frame_times[-1]}"
+            )
+        self._frame_times.append(float(time))
+        merged = _cluster_detections(detections, self.config.cluster_radius)
+
+        if self._active:
+            predictions = np.vstack([track.predict(time)
+                                     for track in self._active])
+        else:
+            predictions = np.empty((0, 2), dtype=float)
+        matching = self._associate(predictions, merged,
+                                   self.config.gate_distance)
+        matched_tracks = {ti for ti, _di in matching}
+        matched_detections = {di for _ti, di in matching}
+
+        for ti, di in matching:
+            position, power = merged[di]
+            self._active[ti].add(time, position, power)
+        for ti, track in enumerate(self._active):
+            if ti not in matched_tracks:
+                track.mark_missed()
+        for di, (position, power) in enumerate(merged):
+            if di not in matched_detections:
+                self._active.append(Track(time, position, self.config, power,
+                                          track_id=self._next_track_id))
+                self._next_track_id += 1
+
+        still_active: list[Track] = []
+        for track in self._active:
+            if track.alive:
+                still_active.append(track)
+            elif len(track) >= self.config.min_track_points:
+                self._finished.append(track)
+        self._active = still_active
+
+    # -- finalization ------------------------------------------------------
+
+    def tracks(self) -> list[Track]:
+        """The current finalized view: quality-filtered, strongest first.
+
+        Non-destructive — a streaming session can read its tracks after
+        every frame and keep ingesting.
+        """
+        candidates = list(self._finished)
+        candidates.extend(track for track in self._active
+                          if len(track) >= self.config.min_track_points)
+        kept = _quality_filter(candidates, self._frame_times, self.config)
+        kept.sort(key=lambda track: track.total_power, reverse=True)
+        return kept
+
+    # -- checkpoint / restore ----------------------------------------------
+
+    def checkpoint(self) -> dict[str, Any]:
+        """Complete tracker state as a JSON-serializable blob.
+
+        Restoring via :meth:`from_checkpoint` (optionally after a
+        ``json.dumps``/``loads`` round trip — Python float repr is exact)
+        yields a tracker whose future outputs are bit-identical to one
+        that never checkpointed.
+        """
+        return {
+            "version": self.CHECKPOINT_VERSION,
+            "config": self.config.to_state(),
+            "next_track_id": int(self._next_track_id),
+            "frame_times": [float(t) for t in self._frame_times],
+            "active": [track.to_state() for track in self._active],
+            "finished": [track.to_state() for track in self._finished],
+        }
+
+    @classmethod
+    def from_checkpoint(cls, state: dict[str, Any],
+                        array: UniformLinearArray | None = None,
+                        ) -> StreamingTracker:
+        """Rebuild a tracker from a :meth:`checkpoint` blob.
+
+        Args:
+            state: the checkpoint blob.
+            array: array geometry to reattach for profile-level ingestion
+                (checkpoints do not embed geometry).
+        """
+        version = state.get("version")
+        if version != cls.CHECKPOINT_VERSION:
+            raise TrackingError(
+                f"unsupported tracker checkpoint version {version!r} "
+                f"(expected {cls.CHECKPOINT_VERSION})"
+            )
+        config = TrackerConfig.from_state(state["config"])
+        tracker = cls(array, config)
+        tracker._next_track_id = int(state["next_track_id"])
+        tracker._frame_times = [float(t) for t in state["frame_times"]]
+        tracker._active = [Track.from_state(s, config)
+                           for s in state["active"]]
+        tracker._finished = [Track.from_state(s, config)
+                             for s in state["finished"]]
+        return tracker
+
+
+# --------------------------------------------------------------------------
+# Batch drivers (thin loops over the streaming core)
+# --------------------------------------------------------------------------
+
 
 def extract_tracks(profiles: list[RangeAngleProfile],
                    array: UniformLinearArray,
                    config: TrackerConfig | None = None) -> list[Track]:
     """Run the full association + filtering pipeline over a frame sequence.
 
-    Returns all tracks with at least ``min_track_points`` detections,
-    longest first.
+    A thin batch driver over :class:`StreamingTracker` — one ingest per
+    frame, then the finalized view. Returns all tracks with at least
+    ``min_track_points`` detections, strongest first.
     """
-    if config is None:
-        config = TrackerConfig()
-    active: list[Track] = []
-    finished: list[Track] = []
-
+    tracker = StreamingTracker(array, config)
     for profile in profiles:
-        floor = float(np.median(profile.power))
-        threshold = config.threshold_factor * max(floor, 1e-30)
-        peaks = profile.detect(threshold=threshold, max_peaks=config.max_targets)
-        detections = _cluster_detections(
-            [(profile.peak_position(p, array), p.power) for p in peaks],
-            config.cluster_radius,
-        )
-
-        # Greedy nearest-neighbour association, closest pairs first.
-        pairs: list[tuple[float, int, int]] = []
-        for ti, track in enumerate(active):
-            predicted = track.predict(profile.time)
-            for di, (position, _power) in enumerate(detections):
-                distance = float(np.linalg.norm(position - predicted))
-                if distance <= config.gate_distance:
-                    pairs.append((distance, ti, di))
-        pairs.sort(key=lambda item: item[0])
-        used_tracks: set[int] = set()
-        used_dets: set[int] = set()
-        for distance, ti, di in pairs:
-            if ti in used_tracks or di in used_dets:
-                continue
-            position, power = detections[di]
-            active[ti].add(profile.time, position, power)
-            used_tracks.add(ti)
-            used_dets.add(di)
-
-        for ti, track in enumerate(active):
-            if ti not in used_tracks:
-                track.mark_missed()
-        for di, (position, power) in enumerate(detections):
-            if di not in used_dets:
-                active.append(Track(profile.time, position, config, power))
-
-        still_active = []
-        for track in active:
-            if track.alive:
-                still_active.append(track)
-            elif len(track) >= config.min_track_points:
-                finished.append(track)
-        active = still_active
-
-    finished.extend(t for t in active if len(t) >= config.min_track_points)
-    finished = _quality_filter(finished, profiles, config)
-    finished.sort(key=lambda t: t.total_power, reverse=True)
-    return finished
+        tracker.ingest(profile)
+    return tracker.tracks()
 
 
-def _cluster_detections(detections: list[tuple[np.ndarray, float]],
-                        radius: float) -> list[tuple[np.ndarray, float]]:
+def track_detections(frames: list[tuple[float, list[Detection]]],
+                     config: TrackerConfig | None = None) -> list[Track]:
+    """Batch-track pre-detected frames of ``(time, detections)`` pairs.
+
+    The detection-level companion of :func:`extract_tracks`, for callers
+    (tests, benchmarks, external detectors) that bypass the range-angle
+    front end.
+    """
+    tracker = StreamingTracker(config=config)
+    for time, detections in frames:
+        tracker.ingest_detections(time, detections)
+    return tracker.tracks()
+
+
+# --------------------------------------------------------------------------
+# Detection clustering and track quality filtering
+# --------------------------------------------------------------------------
+
+
+def _canonical_order(detections: list[Detection]) -> list[Detection]:
+    """Detections sorted strongest-first, position-tie-broken.
+
+    Power ties break on ``(x, y)``, so the ordering — and everything
+    downstream of it: cluster membership, centroid summation order,
+    association indices, spawn order of new track IDs — is a function of
+    the detection *set*, never of the input order.
+    """
+    return sorted(
+        detections,
+        key=lambda item: (-item[1], float(item[0][0]), float(item[0][1])),
+    )
+
+
+def _cluster_detections(detections: list[Detection],
+                        radius: float) -> list[Detection]:
     """Merge detections within ``radius`` of a stronger one.
 
     A person is an extended radar target: their body return plus nearby
@@ -275,11 +740,16 @@ def _cluster_detections(detections: list[tuple[np.ndarray, float]],
     object per blob at the power-weighted centroid — the small position
     bias this introduces under heavy multipath is precisely the effect
     behind the office environment's larger errors (Sec. 11.1).
+
+    Output order is canonical (see :func:`_canonical_order`) regardless
+    of input order, including for ``radius=0``.
     """
-    if radius == 0 or len(detections) <= 1:
-        return detections
-    ordered = sorted(detections, key=lambda item: item[1], reverse=True)
-    clusters: list[list[tuple[np.ndarray, float]]] = []
+    if len(detections) <= 1:
+        return list(detections)
+    ordered = _canonical_order(detections)
+    if radius == 0:
+        return ordered
+    clusters: list[list[Detection]] = []
     for position, power in ordered:
         for cluster in clusters:
             anchor_position, _anchor_power = cluster[0]
@@ -288,16 +758,16 @@ def _cluster_detections(detections: list[tuple[np.ndarray, float]],
                 break
         else:
             clusters.append([(position, power)])
-    merged = []
+    merged: list[Detection] = []
     for cluster in clusters:
         weights = np.array([power for _position, power in cluster])
         positions = np.vstack([position for position, _power in cluster])
         centroid = weights @ positions / weights.sum()
         merged.append((centroid, float(weights.sum())))
-    return merged
+    return _canonical_order(merged)
 
 
-def _quality_filter(tracks: list[Track], profiles: list[RangeAngleProfile],
+def _quality_filter(tracks: list[Track], frame_times: list[float],
                     config: TrackerConfig) -> list[Track]:
     """Reject multipath/speckle tracks by consistency and relative power.
 
@@ -306,11 +776,11 @@ def _quality_filter(tracks: list[Track], profiles: list[RangeAngleProfile],
     detection power is within ``min_relative_power_db`` of the strongest
     concurrent track (bounce trails sit ~10-20 dB below their source).
     """
-    if not tracks or not profiles:
-        return tracks
+    if not tracks or not frame_times:
+        return list(tracks)
     frame_dt = max(
-        float(np.median(np.diff([p.time for p in profiles]))), 1e-9
-    ) if len(profiles) > 1 else 1e-9
+        float(np.median(np.diff(np.asarray(frame_times)))), 1e-9
+    ) if len(frame_times) > 1 else 1e-9
 
     def hit_ratio(track: Track) -> float:
         spanned = (track.times[-1] - track.times[0]) / frame_dt + 1.0

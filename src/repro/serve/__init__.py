@@ -14,6 +14,9 @@ one simulation host. This package turns the core into a *service*:
   deadlines, worker pool, graceful degradation.
 - :class:`InProcessClient` — a synchronous facade for non-async callers.
 - :class:`MetricsRegistry` — counters/gauges/histograms with JSON export.
+- :class:`SessionStore` / :class:`TrackRequest` — long-lived tracking
+  sessions: per-session incremental tracker state with idle eviction and
+  exact checkpoint/restore (``repro.serve.session``).
 
 Served results are bitwise identical to direct ``FmcwRadar.sense`` calls
 with the same parameters, regardless of arrival order or batch grouping —
@@ -36,8 +39,12 @@ from repro.serve.request import (
     BatchKey,
     SenseRequest,
     SenseResponse,
+    TrackRequest,
+    TrackResponse,
+    TrackSnapshot,
 )
 from repro.serve.service import SenseService, ServiceConfig
+from repro.serve.session import SessionConfig, SessionStore, TrackingSession
 
 __all__ = [
     "BACKEND_NAIVE_FALLBACK",
@@ -56,4 +63,10 @@ __all__ = [
     "SenseResponse",
     "SenseService",
     "ServiceConfig",
+    "SessionConfig",
+    "SessionStore",
+    "TrackRequest",
+    "TrackResponse",
+    "TrackSnapshot",
+    "TrackingSession",
 ]

@@ -9,7 +9,15 @@ training or parameter-sweep workload. Prints a per-backend completion
 summary plus the latency/batch-size telemetry, and can export the full
 metrics snapshot as JSON.
 
+With ``--sessions N`` the demo switches to the *stateful* workload: N
+concurrent tracking sessions, each sensing the scene in ``--chunks``
+consecutive tracked requests whose frames feed one persistent
+per-session tracker (``RF_PROTECT_SESSION_*`` governs eviction). The
+summary then includes per-session frame/track counts and the session
+store's gauges.
+
 Run: ``rfprotect serve --requests 32 --metrics-json metrics.json``
+or:  ``rfprotect serve --sessions 8 --chunks 4``
 """
 
 from __future__ import annotations
@@ -27,7 +35,7 @@ from repro.experiments.environments import office_environment
 from repro.radar.config import RadarConfig
 from repro.radar.scene import Scene
 from repro.serve.client import InProcessClient
-from repro.serve.request import SenseRequest
+from repro.serve.request import SenseRequest, TrackRequest
 from repro.serve.service import ServiceConfig
 from repro.signal.chirp import ChirpConfig
 
@@ -67,6 +75,40 @@ def build_demo_scene(seed: int = 7) -> tuple[Scene, RadarConfig]:
     return scene, fast_config
 
 
+def _run_session_demo(client: InProcessClient, scene: Scene, *,
+                      sessions: int, chunks: int, duration: float) -> None:
+    """Drive ``sessions`` concurrent tracking sessions, ``chunks`` each.
+
+    Every chunk continues the previous one in scene time
+    (``start_time=None``), so each session's tracker follows the ghost
+    across the whole span under one set of persistent track IDs. Chunks
+    are submitted as futures round by round — all sessions' chunk *k*
+    in flight together — so tracked requests coalesce into shared
+    sensing batches exactly like the stateless burst.
+    """
+    session_ids = [client.create_session() for _ in range(sessions)]
+    last = None
+    for chunk in range(chunks):
+        futures = [
+            client.submit_tracked(TrackRequest(
+                session_id=session_id, scene=scene, duration=duration,
+                seed=chunk,
+            ))
+            for session_id in session_ids
+        ]
+        last = [future.result() for future in futures]
+    assert last is not None
+    total_frames = sum(response.frames_total for response in last)
+    tracked = sum(len(response.active_tracks) for response in last)
+    print(f"{sessions} session(s) x {chunks} chunk(s): "
+          f"{total_frames} frames ingested, "
+          f"{tracked} active track(s) across sessions")
+    for response in last[:4]:
+        print(f"  {response.session_id}: {response.frames_total} frames, "
+              f"{len(response.active_tracks)} active, "
+              f"{len(response.tracks)} finalized")
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point of ``rfprotect serve``; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -85,19 +127,27 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--metrics-json", default=None,
         help="write the full metrics snapshot to this JSON file",
     )
+    parser.add_argument(
+        "--sessions", type=int, default=0,
+        help="run the stateful demo with this many concurrent tracking "
+             "sessions instead of the stateless burst (default: 0 = off)",
+    )
+    parser.add_argument(
+        "--chunks", type=int, default=3,
+        help="tracked requests per session in the stateful demo "
+             "(default: 3)",
+    )
     args = parser.parse_args(argv)
     if args.requests < 1:
         parser.error("--requests must be >= 1")
+    if args.sessions < 0:
+        parser.error("--sessions must be >= 0")
+    if args.chunks < 1:
+        parser.error("--chunks must be >= 1")
 
     scene, radar_config = build_demo_scene()
-    requests = [
-        SenseRequest(scene=scene, duration=args.sense_duration, seed=seed)
-        for seed in range(args.requests)
-    ]
-
     service_config = ServiceConfig.from_env()
-    print(f"serving {args.requests} request(s): "
-          f"max_batch={service_config.max_batch_size}, "
+    print(f"serving: max_batch={service_config.max_batch_size}, "
           f"window={service_config.batch_window_ms}ms, "
           f"queue_depth={service_config.queue_depth}, "
           f"workers={service_config.workers}")
@@ -105,18 +155,40 @@ def main(argv: Sequence[str] | None = None) -> int:
     with InProcessClient(service_config,
                          default_radar_config=radar_config) as client:
         started = time.perf_counter()
-        responses = client.sense_many(requests)
-        elapsed = time.perf_counter() - started
-        snapshot = client.metrics_snapshot()
+        if args.sessions > 0:
+            _run_session_demo(client, scene, sessions=args.sessions,
+                              chunks=args.chunks,
+                              duration=args.sense_duration)
+            elapsed = time.perf_counter() - started
+            print(f"session demo finished in {elapsed:.3f}s")
+            snapshot = client.metrics_snapshot()
+            gauges = snapshot["gauges"]
+            assert isinstance(gauges, dict)
+            print(f"session store: {gauges.get('sessions.live', 0):.0f} "
+                  f"live, {gauges.get('sessions.parked', 0):.0f} parked")
+        else:
+            requests = [
+                SenseRequest(scene=scene, duration=args.sense_duration,
+                             seed=seed)
+                for seed in range(args.requests)
+            ]
+            responses = client.sense_many(requests)
+            elapsed = time.perf_counter() - started
+            snapshot = client.metrics_snapshot()
 
-    backends = TallyCounter(response.backend for response in responses)
-    backend_summary = ", ".join(
-        f"{count} {backend}" for backend, count in sorted(backends.items())
-    )
-    frames = sum(len(response.result.times) for response in responses)
-    print(f"completed {len(responses)} request(s) ({backend_summary}) "
-          f"covering {frames} frames in {elapsed:.3f}s "
-          f"({len(responses) / elapsed:.1f} req/s)")
+            backends = TallyCounter(
+                response.backend for response in responses
+            )
+            backend_summary = ", ".join(
+                f"{count} {backend}"
+                for backend, count in sorted(backends.items())
+            )
+            frames = sum(
+                len(response.result.times) for response in responses
+            )
+            print(f"completed {len(responses)} request(s) "
+                  f"({backend_summary}) covering {frames} frames in "
+                  f"{elapsed:.3f}s ({len(responses) / elapsed:.1f} req/s)")
 
     histograms = snapshot["histograms"]
     assert isinstance(histograms, dict)

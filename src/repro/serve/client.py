@@ -25,8 +25,14 @@ from types import TracebackType
 from typing import Any, Coroutine
 
 from repro.radar.config import RadarConfig
+from repro.radar.tracker import TrackerConfig
 from repro.serve.metrics import MetricsRegistry
-from repro.serve.request import SenseRequest, SenseResponse
+from repro.serve.request import (
+    SenseRequest,
+    SenseResponse,
+    TrackRequest,
+    TrackResponse,
+)
 from repro.serve.service import SenseService, ServiceConfig
 
 __all__ = ["InProcessClient"]
@@ -96,6 +102,47 @@ class InProcessClient:
             if isinstance(result, BaseException):
                 raise result
         return list(results)
+
+    def create_session(self, session_id: str | None = None, *,
+                       tracker_config: TrackerConfig | None = None) -> str:
+        """Open a tracking session; returns its id."""
+        result: str = self._call(self._service.create_session(
+            session_id, tracker_config=tracker_config
+        ))
+        return result
+
+    def track(self, request: TrackRequest) -> TrackResponse:
+        """Submit one tracked (session) request and block for its response."""
+        return self.submit_tracked(request).result()
+
+    def submit_tracked(self, request: TrackRequest
+                       ) -> Future[TrackResponse]:
+        """Submit a tracked request without waiting."""
+        return asyncio.run_coroutine_threadsafe(
+            self._service.submit_tracked(request), self._loop
+        )
+
+    def session_checkpoint(self, session_id: str) -> dict[str, object]:
+        """Export the session's current tracker checkpoint."""
+        result: dict[str, object] = self._call(
+            self._service.session_checkpoint(session_id)
+        )
+        return result
+
+    def restore_session(self, session_id: str,
+                        checkpoint: dict[str, object]) -> str:
+        """Open a session primed from an exported checkpoint."""
+        result: str = self._call(
+            self._service.restore_session(session_id, checkpoint)
+        )
+        return result
+
+    def end_session(self, session_id: str) -> dict[str, object]:
+        """Close a session; returns its final checkpoint."""
+        result: dict[str, object] = self._call(
+            self._service.end_session(session_id)
+        )
+        return result
 
     def metrics_snapshot(self) -> dict[str, object]:
         """Point-in-time JSON-serializable view of the service telemetry."""

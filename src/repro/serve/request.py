@@ -18,6 +18,7 @@ from repro.errors import ConfigurationError
 from repro.radar.config import RadarConfig
 from repro.radar.radar import SensingResult
 from repro.radar.scene import Scene
+from repro.radar.tracker import Track
 
 __all__ = [
     "BACKEND_NAIVE_FALLBACK",
@@ -25,6 +26,9 @@ __all__ = [
     "BatchKey",
     "SenseRequest",
     "SenseResponse",
+    "TrackRequest",
+    "TrackResponse",
+    "TrackSnapshot",
 ]
 
 
@@ -108,6 +112,125 @@ class SenseResponse:
 
     request_id: int
     result: SensingResult
+    backend: str
+    batch_size: int
+    queued_s: float
+    total_s: float
+
+
+@dataclasses.dataclass(frozen=True)
+class TrackRequest:
+    """One incremental frame-ingestion job against a tracking session.
+
+    The sensing half (scene, duration, seed, config, max_range) is exactly
+    a :class:`SenseRequest` — tracked requests ride the same admission,
+    :class:`BatchKey` coalescing, and fused execution as stateless ones.
+    What a session adds is *continuity*: the sensed frames are ingested
+    into the session's persistent :class:`~repro.radar.tracker
+    .StreamingTracker`, so track identities survive across requests.
+
+    Attributes:
+        session_id: the session whose tracker ingests the sensed frames.
+        scene: the room and its entities to sense.
+        duration: sensing span in seconds (must be positive).
+        seed: seed of the per-request generator (same determinism contract
+            as :class:`SenseRequest`).
+        config: radar configuration; ``None`` uses the service's default.
+        start_time: scene time of the first frame; ``None`` continues one
+            frame interval after the session's last ingested frame (0.0
+            for a fresh session).
+        max_range: optional far crop of the range axis.
+        deadline_s: per-request deadline budget, as for sense requests.
+    """
+
+    session_id: str
+    scene: Scene
+    duration: float
+    seed: int = 0
+    config: RadarConfig | None = None
+    start_time: float | None = None
+    max_range: float | None = None
+    deadline_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.session_id:
+            raise ConfigurationError("session_id must be non-empty")
+        if self.duration <= 0:
+            raise ConfigurationError(
+                f"sense duration must be positive, got {self.duration}"
+            )
+        if self.max_range is not None and self.max_range <= 0:
+            raise ConfigurationError(
+                f"max_range must be positive, got {self.max_range}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ConfigurationError(
+                f"deadline_s must be positive, got {self.deadline_s}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class TrackSnapshot:
+    """The wire-shaped view of one track at response time.
+
+    A frozen value object (plain floats/ints, no live filter state) so
+    responses can outlive the session, be compared across requests, and
+    serialize cleanly.
+    """
+
+    track_id: int
+    start_time: float
+    last_time: float
+    num_points: int
+    age: int
+    misses: int
+    total_misses: int
+    position: tuple[float, float]
+    velocity: tuple[float, float]
+    total_power: float
+
+    @classmethod
+    def from_track(cls, track: Track) -> TrackSnapshot:
+        last = track.raw_positions[-1]
+        velocity = track.filter.velocity
+        return cls(
+            track_id=track.track_id,
+            start_time=float(track.times[0]),
+            last_time=float(track.times[-1]),
+            num_points=len(track),
+            age=track.age,
+            misses=track.misses,
+            total_misses=track.total_misses,
+            position=(float(last[0]), float(last[1])),
+            velocity=(float(velocity[0]), float(velocity[1])),
+            total_power=track.total_power,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class TrackResponse:
+    """A completed tracked request: session-level tracking state + telemetry.
+
+    Attributes:
+        request_id: admission-ordered id of the underlying sense request.
+        session_id: the session the frames were ingested into.
+        frames_added: frames this request contributed.
+        frames_total: frames the session's tracker has consumed in total.
+        tracks: the finalized (quality-filtered) view, strongest first.
+        active_tracks: every track still being followed, tentative ones
+            included, in spawn order.
+        backend: execution backend of the sensing batch.
+        batch_size: how many requests shared the sensing batch.
+        queued_s: admission -> execution-start wait, seconds.
+        total_s: admission -> completion latency (ingestion included).
+    """
+
+    request_id: int
+    session_id: str
+    frames_added: int
+    frames_total: int
+    tracks: tuple[TrackSnapshot, ...]
+    active_tracks: tuple[TrackSnapshot, ...]
     backend: str
     batch_size: int
     queued_s: float

@@ -26,6 +26,11 @@ real compute:
   reference kernels per request if the fused vectorized path raises; the
   fallback is visible in the ``batches.fallback`` counter and each
   response's ``backend`` field.
+- **Tracking sessions** — :meth:`SenseService.submit_tracked` senses
+  through the same admission/batching path, then ingests the resulting
+  frames into the request's session tracker
+  (:class:`~repro.serve.session.SessionStore`); the flusher additionally
+  runs the store's idle-eviction sweep on its own cadence.
 
 Everything the service does is observable through its
 :class:`~repro.serve.metrics.MetricsRegistry`.
@@ -61,12 +66,17 @@ from repro.serve.metrics import (
     LATENCY_BUCKETS_S,
     MetricsRegistry,
 )
+from repro.radar.tracker import TrackerConfig
 from repro.serve.request import (
     BACKEND_VECTORIZED,
     BatchKey,
     SenseRequest,
     SenseResponse,
+    TrackRequest,
+    TrackResponse,
+    TrackSnapshot,
 )
+from repro.serve.session import SessionConfig, SessionStore
 
 __all__ = ["SenseService", "ServiceConfig"]
 
@@ -167,12 +177,16 @@ class SenseService:
             private one (exposed as :attr:`metrics`).
         execute: batch-execution callable, overridable for tests; defaults
             to :func:`repro.serve.engine.execute_batch`.
+        session_config: retention policy of the tracking-session store
+            (exposed as :attr:`sessions`); ``None`` reads the
+            ``RF_PROTECT_SESSION_*`` environment registry.
     """
 
     def __init__(self, config: ServiceConfig | None = None, *,
                  default_radar_config: RadarConfig | None = None,
                  metrics: MetricsRegistry | None = None,
-                 execute: ExecuteFn | None = None) -> None:
+                 execute: ExecuteFn | None = None,
+                 session_config: SessionConfig | None = None) -> None:
         self.config = config if config is not None else ServiceConfig.from_env()
         self.default_radar_config = (
             default_radar_config if default_radar_config is not None
@@ -180,6 +194,7 @@ class SenseService:
         )
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._execute: ExecuteFn = execute if execute is not None else execute_batch
+        self.sessions = SessionStore(session_config, metrics=self.metrics)
         self._batcher: MicroBatcher[BatchKey, _Pending] = MicroBatcher(
             max_batch_size=self.config.max_batch_size,
             window_s=self.config.batch_window_s,
@@ -289,16 +304,128 @@ class SenseService:
         self._waiting = value
         self.metrics.set_gauge("queue.depth", float(value))
 
+    # -- tracking sessions -------------------------------------------------
+
+    async def create_session(self, session_id: str | None = None, *,
+                             tracker_config: TrackerConfig | None = None,
+                             ) -> str:
+        """Open a tracking session; returns its (possibly assigned) id."""
+        loop = asyncio.get_running_loop()
+        session = self.sessions.create(session_id, now=loop.time(),
+                                       tracker_config=tracker_config)
+        return session.session_id
+
+    async def session_checkpoint(self, session_id: str) -> dict[str, object]:
+        """The session's current tracker checkpoint (JSON-serializable)."""
+        return self.sessions.checkpoint_of(session_id)
+
+    async def restore_session(self, session_id: str,
+                              checkpoint: dict[str, object]) -> str:
+        """Open a session primed from a previously exported checkpoint."""
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        session = self.sessions.create(session_id, now=now)
+        session.checkpoint = dict(checkpoint)
+        session.tracker = None
+        self.sessions.get(session_id, now=now)
+        return session.session_id
+
+    async def end_session(self, session_id: str) -> dict[str, object]:
+        """Close the session; returns its final checkpoint blob."""
+        checkpoint = self.sessions.checkpoint_of(session_id)
+        self.sessions.remove(session_id)
+        return checkpoint
+
+    async def submit_tracked(self, request: TrackRequest) -> TrackResponse:
+        """Sense, then ingest the frames into the request's session tracker.
+
+        The sensing half rides :meth:`submit` unchanged — same admission
+        control, deadline handling, and :class:`BatchKey` coalescing as a
+        stateless request (tracked and untracked requests share batches).
+        Ingestion is serialized per session by the session lock, so
+        concurrent tracked requests against one session apply their frames
+        one request at a time.
+
+        Raises everything :meth:`submit` raises, plus
+        :class:`~repro.errors.SessionNotFoundError` for unknown (or
+        already evicted-and-dropped) sessions.
+        """
+        loop = asyncio.get_running_loop()
+        session = self.sessions.peek(request.session_id)
+        async with session.lock:
+            # Re-fetch under the lock: the eviction sweep may have parked
+            # the session between peek and acquisition; get() restores it.
+            session = self.sessions.get(request.session_id, now=loop.time())
+            tracker = session.tracker
+            assert tracker is not None
+            config = (request.config if request.config is not None
+                      else self.default_radar_config)
+            if request.start_time is not None:
+                start_time = request.start_time
+            else:
+                last = tracker.last_frame_time
+                start_time = (0.0 if last is None
+                              else last + config.frame_interval)
+            response = await self.submit(SenseRequest(
+                scene=request.scene,
+                duration=request.duration,
+                seed=request.seed,
+                config=request.config,
+                start_time=start_time,
+                max_range=request.max_range,
+                deadline_s=request.deadline_s,
+            ))
+            sensed_at = loop.time()
+            before = tracker.frames_ingested
+            if tracker.array is None:
+                tracker.array = response.result.array
+            response.result.stream_tracks(tracker=tracker)
+            frames_added = tracker.frames_ingested - before
+            now = loop.time()
+            self.sessions.record_frames(session, frames_added, now=now)
+            self.metrics.inc("requests.tracked")
+            tracked = TrackResponse(
+                request_id=response.request_id,
+                session_id=session.session_id,
+                frames_added=frames_added,
+                frames_total=tracker.frames_ingested,
+                tracks=tuple(TrackSnapshot.from_track(track)
+                             for track in tracker.tracks()),
+                active_tracks=tuple(TrackSnapshot.from_track(track)
+                                    for track in tracker.active_tracks),
+                backend=response.backend,
+                batch_size=response.batch_size,
+                queued_s=response.queued_s,
+                total_s=response.total_s + (now - sensed_at),
+            )
+        # Lock released: re-apply the live bound a concurrent burst may
+        # have overshot (locked sessions are unparkable while in flight).
+        self.sessions.rebalance()
+        return tracked
+
     # -- scheduling --------------------------------------------------------
 
     async def _flush_loop(self) -> None:
-        """Poll the batcher for window-expired groups."""
+        """Poll the batcher for window-expired groups; sweep idle sessions.
+
+        The session sweep rides the flusher instead of owning a task: it
+        is a bookkeeping pass measured in microseconds, and coupling it to
+        the tick the service already pays keeps the task inventory flat.
+        """
         tick = max(self.config.batch_window_s / 4.0, 0.001)
         assert self._queue is not None
         loop = asyncio.get_running_loop()
+        sweep_interval = self.sessions.config.sweep_interval_s
+        next_sweep = loop.time() + sweep_interval
         while True:
-            for batch in self._batcher.due(loop.time()):
+            now = loop.time()
+            for batch in self._batcher.due(now):
                 self._queue.put_nowait(batch)
+            if now >= next_sweep:
+                evicted = self.sessions.evict_idle(now)
+                if evicted:
+                    self.metrics.inc("sessions.evicted", evicted)
+                next_sweep = now + sweep_interval
             await asyncio.sleep(tick)
 
     async def _worker_loop(self) -> None:

@@ -36,6 +36,8 @@ from repro.types import Trajectory
 
 GOLDEN_PATH = (Path(__file__).resolve().parent
                / "fixtures" / "golden" / "range_angle_digests.json")
+TRACKER_GOLDEN_PATH = (Path(__file__).resolve().parent
+                       / "fixtures" / "golden" / "tracker_digests.json")
 
 RTOL = 1e-7
 
@@ -113,11 +115,52 @@ def digest(result) -> dict:
     }
 
 
+def tracker_digest(result) -> dict:
+    """Track-level summary: stable IDs, lifecycles, trajectory mass.
+
+    Computed through the *streaming* tracker (``stream_tracks``) so the
+    digest also guards the incremental path; streaming≡batch equality is
+    separately pinned by ``tests/test_property_tracker.py``.
+    """
+    tracks = result.stream_tracks().tracks()
+    track_entries = []
+    for track in tracks:
+        positions = np.vstack(track.raw_positions)
+        trajectory = track.to_trajectory()
+        track_entries.append({
+            "track_id": track.track_id,
+            "num_points": len(track),
+            "age": track.age,
+            "misses": track.misses,
+            "total_misses": track.total_misses,
+            "first_time": float(track.times[0]),
+            "last_time": float(track.times[-1]),
+            "first_position": [float(x) for x in positions[0]],
+            "last_position": [float(x) for x in positions[-1]],
+            "position_sum": [float(x) for x in positions.sum(axis=0)],
+            "total_power": track.total_power,
+            "trajectory_points": len(trajectory),
+            "trajectory_sum": [
+                float(x) for x in trajectory.points.sum(axis=0)
+            ],
+        })
+    return {"num_tracks": len(tracks), "tracks": track_entries}
+
+
 def compute_digests() -> dict:
     return {
         "fmcw": {backend: digest(sense_fmcw(backend))
                  for backend in BACKENDS},
         "pulsed": {backend: digest(sense_pulsed(backend))
+                   for backend in BACKENDS},
+    }
+
+
+def compute_tracker_digests() -> dict:
+    return {
+        "fmcw": {backend: tracker_digest(sense_fmcw(backend))
+                 for backend in BACKENDS},
+        "pulsed": {backend: tracker_digest(sense_pulsed(backend))
                    for backend in BACKENDS},
     }
 
@@ -128,6 +171,14 @@ def golden() -> dict:
         pytest.fail(f"golden fixture missing; regenerate via "
                     f"PYTHONPATH=src python {Path(__file__).name}")
     return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+@pytest.fixture(scope="module")
+def golden_tracker() -> dict:
+    if not TRACKER_GOLDEN_PATH.exists():  # pragma: no cover - regen aid
+        pytest.fail(f"tracker golden fixture missing; regenerate via "
+                    f"PYTHONPATH=src python {Path(__file__).name}")
+    return json.loads(TRACKER_GOLDEN_PATH.read_text(encoding="utf-8"))
 
 
 def assert_digest_matches(actual: dict, expected: dict) -> None:
@@ -156,6 +207,34 @@ class TestGoldenDigests:
                               golden["pulsed"][backend])
 
 
+def assert_tracker_digest_matches(actual: dict, expected: dict) -> None:
+    assert actual["num_tracks"] == expected["num_tracks"]
+    for track, ref in zip(actual["tracks"], expected["tracks"]):
+        for key in ("track_id", "num_points", "age", "misses",
+                    "total_misses", "trajectory_points"):
+            assert track[key] == ref[key], key
+        for key in ("first_time", "last_time", "total_power"):
+            np.testing.assert_allclose(track[key], ref[key], rtol=RTOL,
+                                       err_msg=key)
+        for key in ("first_position", "last_position", "position_sum",
+                    "trajectory_sum"):
+            np.testing.assert_allclose(track[key], ref[key], rtol=RTOL,
+                                       err_msg=key)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestGoldenTrackerDigests:
+    """History-pinned tracker output: IDs, lifecycles, trajectories."""
+
+    def test_fmcw_tracks_match_golden(self, golden_tracker, backend):
+        assert_tracker_digest_matches(tracker_digest(sense_fmcw(backend)),
+                                      golden_tracker["fmcw"][backend])
+
+    def test_pulsed_tracks_match_golden(self, golden_tracker, backend):
+        assert_tracker_digest_matches(tracker_digest(sense_pulsed(backend)),
+                                      golden_tracker["pulsed"][backend])
+
+
 class TestGoldenInternalConsistency:
     def test_backends_agree_with_each_other(self, golden):
         """The checked-in digests themselves must be cross-backend equal."""
@@ -175,3 +254,9 @@ if __name__ == "__main__":  # pragma: no cover - regeneration entry point
         encoding="utf-8",
     )
     print(f"wrote {GOLDEN_PATH}")
+    TRACKER_GOLDEN_PATH.write_text(
+        json.dumps(compute_tracker_digests(), indent=2, sort_keys=True)
+        + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {TRACKER_GOLDEN_PATH}")

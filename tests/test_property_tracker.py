@@ -1,0 +1,235 @@
+"""Property suite for the incremental tracker: the streaming≡batch wall.
+
+The tracker's central contract is that *streaming is batch*: ingesting a
+sweep one frame at a time through :class:`StreamingTracker` produces
+exactly the tracks — IDs, raw positions, ages, miss counts — of handing
+the whole sweep to the batch driver. Today that holds by construction
+(``extract_tracks``/``track_detections`` are loops over the streaming
+core); this suite pins it against any future divergence (a batch fast
+path, a smarter streaming association) with hypothesis-generated scenes:
+1–4 targets crossing through a common point, frame-time jitter, dropped
+frames, measurement noise.
+
+Also pinned here: association is independent of detection input order
+(canonical ordering), checkpoint/restore is exact mid-stream (including a
+JSON round trip), and the in-repo Hungarian fallback is cost-equal to
+``scipy.optimize.linear_sum_assignment``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TrackingError
+from repro.radar.tracker import (
+    StreamingTracker,
+    TrackerConfig,
+    hungarian_assignment,
+    track_detections,
+)
+
+try:
+    from scipy.optimize import linear_sum_assignment
+except ImportError:  # pragma: no cover - container always has scipy
+    linear_sum_assignment = None
+
+COMMON_SETTINGS = settings(
+    max_examples=40, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: Short-scene tracker config: property scenes are 10-30 frames, so the
+#: track-length and consistency floors come down accordingly.
+CONFIG = TrackerConfig(min_track_points=3, min_hit_ratio=0.2,
+                       cluster_radius=0.3, gate_distance=1.0)
+
+Frame = tuple[float, list[tuple[np.ndarray, float]]]
+
+
+@st.composite
+def scenarios(draw) -> list[Frame]:
+    """Detection frames of 1-4 targets crossing through a common point.
+
+    Every target's constant-velocity path passes through one shared
+    crossing point at the scene's midpoint time, so multi-target scenes
+    exercise the association-under-ambiguity regime rather than
+    well-separated tracks. Jittered frame intervals, per-(frame, target)
+    dropouts, and measurement noise come from one seeded generator.
+    """
+    num_targets = draw(st.integers(min_value=1, max_value=4))
+    num_frames = draw(st.integers(min_value=10, max_value=30))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    dt_jitter = draw(st.floats(min_value=0.0, max_value=0.4))
+    drop_rate = draw(st.floats(min_value=0.0, max_value=0.25))
+    rng = np.random.default_rng(seed)
+
+    dts = 0.1 * (1.0 + dt_jitter * rng.uniform(-0.5, 0.5, num_frames - 1))
+    times = np.concatenate([[0.0], np.cumsum(dts)])
+    t_mid = times[num_frames // 2]
+    crossing_point = rng.uniform([2.0, 2.0], [6.0, 4.0])
+    velocities = rng.uniform(-0.6, 0.6, (num_targets, 2))
+    powers = rng.uniform(5.0, 50.0, num_targets)
+
+    frames: list[Frame] = []
+    for t in times:
+        detections = []
+        for k in range(num_targets):
+            if rng.uniform() < drop_rate:
+                continue
+            truth = crossing_point + velocities[k] * (t - t_mid)
+            measured = truth + rng.normal(0.0, 0.03, 2)
+            detections.append((measured, float(powers[k])))
+        frames.append((float(t), detections))
+    return frames
+
+
+def track_state(track) -> tuple:
+    """Everything observable about a track, for exact comparison."""
+    return (
+        track.track_id,
+        tuple(track.times),
+        tuple(tuple(float(x) for x in p) for p in track.raw_positions),
+        tuple(track.powers),
+        track.age,
+        track.misses,
+        track.total_misses,
+        tuple(float(x) for x in track.filter.state),
+    )
+
+
+def stream(frames: list[Frame],
+           config: TrackerConfig = CONFIG) -> StreamingTracker:
+    tracker = StreamingTracker(config=config)
+    for time, detections in frames:
+        tracker.ingest_detections(time, detections)
+    return tracker
+
+
+class TestStreamingEqualsBatch:
+    @COMMON_SETTINGS
+    @given(frames=scenarios())
+    def test_stream_equals_batch_track_for_track(self, frames):
+        batch_tracks = track_detections(frames, CONFIG)
+        stream_tracks = stream(frames).tracks()
+        assert ([track_state(t) for t in stream_tracks]
+                == [track_state(t) for t in batch_tracks])
+
+    @COMMON_SETTINGS
+    @given(frames=scenarios())
+    def test_stream_equals_batch_greedy_association(self, frames):
+        config = TrackerConfig(min_track_points=3, min_hit_ratio=0.2,
+                               cluster_radius=0.3, association="greedy")
+        batch_tracks = track_detections(frames, config)
+        stream_tracks = stream(frames, config).tracks()
+        assert ([track_state(t) for t in stream_tracks]
+                == [track_state(t) for t in batch_tracks])
+
+    @COMMON_SETTINGS
+    @given(frames=scenarios())
+    def test_tracks_view_is_non_destructive(self, frames):
+        """Reading tracks() after every frame never changes the outcome."""
+        tracker = StreamingTracker(config=CONFIG)
+        for time, detections in frames:
+            tracker.ingest_detections(time, detections)
+            tracker.tracks()
+        assert ([track_state(t) for t in tracker.tracks()]
+                == [track_state(t) for t in track_detections(frames, CONFIG)])
+
+
+class TestCheckpointRestore:
+    @COMMON_SETTINGS
+    @given(frames=scenarios(), data=st.data())
+    def test_checkpoint_midstream_is_exact(self, frames, data):
+        split = data.draw(st.integers(min_value=0, max_value=len(frames)),
+                          label="split")
+        uninterrupted = stream(frames)
+
+        resumed = StreamingTracker(config=CONFIG)
+        for time, detections in frames[:split]:
+            resumed.ingest_detections(time, detections)
+        # Round-trip the blob through JSON text: Python float repr is
+        # exact, so a parked-and-restored session loses nothing.
+        blob = json.loads(json.dumps(resumed.checkpoint()))
+        resumed = StreamingTracker.from_checkpoint(blob)
+        for time, detections in frames[split:]:
+            resumed.ingest_detections(time, detections)
+
+        assert ([track_state(t) for t in resumed.tracks()]
+                == [track_state(t) for t in uninterrupted.tracks()])
+        assert resumed.checkpoint() == uninterrupted.checkpoint()
+
+    def test_checkpoint_version_is_enforced(self):
+        tracker = StreamingTracker(config=CONFIG)
+        blob = tracker.checkpoint()
+        blob["version"] = 999
+        with pytest.raises(TrackingError):
+            StreamingTracker.from_checkpoint(blob)
+
+
+class TestOrderIndependence:
+    @COMMON_SETTINGS
+    @given(frames=scenarios(), seed=st.integers(0, 2**31 - 1))
+    def test_detection_order_never_matters(self, frames, seed):
+        """Permuting every frame's detection list changes nothing.
+
+        Not even track IDs: spawn order is canonical, so the adversary's
+        persistent identities are a function of the detection sets alone.
+        """
+        rng = np.random.default_rng(seed)
+        permuted = []
+        for time, detections in frames:
+            shuffled = list(detections)
+            rng.shuffle(shuffled)
+            permuted.append((time, shuffled))
+        original = stream(frames).tracks()
+        reordered = stream(permuted).tracks()
+        assert ([track_state(t) for t in reordered]
+                == [track_state(t) for t in original])
+
+    def test_frames_must_arrive_in_time_order(self):
+        tracker = StreamingTracker(config=CONFIG)
+        tracker.ingest_detections(1.0, [])
+        with pytest.raises(TrackingError):
+            tracker.ingest_detections(0.5, [])
+
+
+class TestHungarianFallback:
+    @COMMON_SETTINGS
+    @given(rows=st.integers(1, 7), cols=st.integers(1, 7),
+           seed=st.integers(0, 2**31 - 1))
+    def test_cost_equals_scipy(self, rows, cols, seed):
+        if linear_sum_assignment is None:
+            pytest.skip("scipy not available")
+        cost = np.random.default_rng(seed).uniform(0.0, 10.0, (rows, cols))
+        ours_r, ours_c = hungarian_assignment(cost)
+        ref_r, ref_c = linear_sum_assignment(cost)
+        assert cost[ours_r, ours_c].sum() == pytest.approx(
+            cost[ref_r, ref_c].sum(), abs=1e-9
+        )
+
+    @COMMON_SETTINGS
+    @given(rows=st.integers(1, 7), cols=st.integers(1, 7),
+           seed=st.integers(0, 2**31 - 1))
+    def test_assignment_is_valid(self, rows, cols, seed):
+        cost = np.random.default_rng(seed).uniform(0.0, 10.0, (rows, cols))
+        assigned_r, assigned_c = hungarian_assignment(cost)
+        assert len(assigned_r) == min(rows, cols)
+        assert len(set(assigned_r.tolist())) == len(assigned_r)
+        assert len(set(assigned_c.tolist())) == len(assigned_c)
+        assert np.all((assigned_r >= 0) & (assigned_r < rows))
+        assert np.all((assigned_c >= 0) & (assigned_c < cols))
+
+    def test_empty_and_invalid_inputs(self):
+        empty_r, empty_c = hungarian_assignment(np.empty((0, 3)))
+        assert len(empty_r) == 0 and len(empty_c) == 0
+        with pytest.raises(TrackingError):
+            hungarian_assignment(np.zeros(3, dtype=np.float64))
+        with pytest.raises(TrackingError):
+            hungarian_assignment(
+                np.array([[np.inf, 1.0]], dtype=np.float64)
+            )

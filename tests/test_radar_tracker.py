@@ -77,6 +77,7 @@ class TestTrackerConfig:
         {"min_hit_ratio": 0.0},
         {"min_relative_power_db": 0.0},
         {"cluster_radius": -0.1},
+        {"association": "nearest"},
     ])
     def test_rejects_invalid(self, kwargs):
         with pytest.raises(ConfigurationError):
@@ -100,6 +101,37 @@ class TestClusterDetections:
     def test_radius_zero_disables(self):
         detections = [(np.array([0.0, 0.0]), 3.0), (np.array([0.1, 0.0]), 1.0)]
         assert len(_cluster_detections(detections, radius=0.0)) == 2
+
+    def test_input_order_does_not_change_clusters(self):
+        """Regression: clustering must be a function of the detection set.
+
+        Historically the pre-sort was by power alone, so equal-power
+        detections clustered in input order — permuting the input could
+        change which detection anchored a cluster and therefore the
+        merged centroids.
+        """
+        rng = np.random.default_rng(99)
+        detections = [(rng.uniform(0.0, 4.0, 2), float(p))
+                      for p in [3.0, 3.0, 3.0, 1.0, 1.0, 7.0]]
+        baseline = _cluster_detections(detections, radius=1.5)
+        for seed in range(8):
+            shuffled = list(detections)
+            np.random.default_rng(seed).shuffle(shuffled)
+            merged = _cluster_detections(shuffled, radius=1.5)
+            assert len(merged) == len(baseline)
+            for (pos, power), (ref_pos, ref_power) in zip(merged, baseline):
+                assert pos == pytest.approx(ref_pos)
+                assert power == pytest.approx(ref_power)
+
+    def test_output_is_canonically_ordered(self):
+        detections = [(np.array([2.0, 0.0]), 1.0),
+                      (np.array([0.0, 0.0]), 1.0),
+                      (np.array([5.0, 1.0]), 4.0)]
+        merged = _cluster_detections(detections, radius=0.5)
+        powers = [power for _pos, power in merged]
+        assert powers == sorted(powers, reverse=True)
+        equal_power = [tuple(pos) for pos, power in merged if power == 1.0]
+        assert equal_power == sorted(equal_power)
 
 
 class TestTrackLifecycle:
@@ -130,6 +162,34 @@ class TestTrackLifecycle:
         trajectory = track.to_trajectory(smooth=False)
         assert trajectory.dt == pytest.approx(0.1)
         assert len(trajectory) >= 19
+
+    def test_age_counts_hits_and_misses(self):
+        track = Track(0.0, np.array([0.0, 0.0]), TrackerConfig(),
+                      track_id=7)
+        assert track.track_id == 7
+        assert track.age == 1
+        track.add(0.1, np.array([0.1, 0.0]))
+        track.mark_missed()
+        track.mark_missed()
+        track.add(0.4, np.array([0.2, 0.0]))
+        assert track.age == 5
+        assert track.misses == 0
+        assert track.total_misses == 2
+
+    def test_state_round_trip_is_exact(self):
+        track = Track(0.0, np.array([1.0, 2.0]), TrackerConfig(),
+                      power=3.0, track_id=11)
+        track.add(0.1, np.array([1.1, 2.0]), power=2.5)
+        track.mark_missed()
+        restored = Track.from_state(track.to_state(), TrackerConfig())
+        assert restored.track_id == track.track_id
+        assert restored.times == track.times
+        assert restored.age == track.age
+        assert restored.misses == track.misses
+        np.testing.assert_array_equal(restored.filter.state,
+                                      track.filter.state)
+        np.testing.assert_array_equal(restored.filter.covariance,
+                                      track.filter.covariance)
 
 
 class TestEndToEndTracking:

@@ -74,7 +74,7 @@ class TestRegistry:
             "naive", "vectorized")
         assert KERNELS.backends(Stage.BEAMFORM) == ("naive", "vectorized")
         assert KERNELS.backends(Stage.EMIT) == (SHARED_BACKEND,)
-        assert KERNELS.backends(Stage.DETECT) == (SHARED_BACKEND,)
+        assert KERNELS.backends(Stage.DETECT) == (SHARED_BACKEND, "streaming")
 
     def test_resolve_explicit_backend(self):
         kernel = KERNELS.resolve(Stage.BEAMFORM, "naive")
