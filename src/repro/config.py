@@ -33,6 +33,7 @@ __all__ = [
     "ENV_ACCESSORS",
     "ENV_REGISTRY",
     "EnvVar",
+    "LINT_CACHE_VAR",
     "PIPELINE_BACKENDS",
     "PIPELINE_BACKEND_VAR",
     "SERVE_BATCH_WINDOW_MS_VAR",
@@ -46,6 +47,7 @@ __all__ = [
     "SESSION_SWEEP_S_VAR",
     "SYNTH_BACKENDS",
     "SYNTH_BACKEND_VAR",
+    "get_lint_cache_dir",
     "get_pipeline_backend",
     "get_serve_batch_window_ms",
     "get_serve_deadline_s",
@@ -283,6 +285,23 @@ SESSION_SWEEP_S_VAR: EnvVar[float] = _register(
 )
 
 
+LINT_CACHE_VAR: EnvVar[str] = _register(
+    EnvVar(
+        name="RF_PROTECT_LINT_CACHE",
+        default="",
+        parse=lambda raw: raw.strip(),
+        description="directory for rflint's incremental analysis cache; "
+                    "empty (the default) disables caching, the CLI flags "
+                    "--cache-dir/--no-cache override in either direction",
+    )
+)
+
+
+def get_lint_cache_dir(environ: Mapping[str, str] | None = None) -> str:
+    """rflint cache directory ('' = off), from ``RF_PROTECT_LINT_CACHE``."""
+    return LINT_CACHE_VAR.read(environ)
+
+
 def get_synth_backend(environ: Mapping[str, str] | None = None) -> str:
     """The active synthesis kernel name, from ``RF_PROTECT_SYNTH``."""
     return SYNTH_BACKEND_VAR.read(environ)
@@ -342,6 +361,7 @@ def get_session_sweep_s(environ: Mapping[str, str] | None = None) -> float:
 #: this to prove the registry is complete: a knob declared without a typed
 #: accessor (or vice versa) fails ``tests/test_config_registry.py``.
 ENV_ACCESSORS: dict[str, Callable[[Mapping[str, str] | None], object]] = {
+    "RF_PROTECT_LINT_CACHE": get_lint_cache_dir,
     "RF_PROTECT_SYNTH": get_synth_backend,
     "RF_PROTECT_PIPELINE": get_pipeline_backend,
     "RF_PROTECT_SERVE_BATCH_WINDOW_MS": get_serve_batch_window_ms,

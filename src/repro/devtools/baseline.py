@@ -1,0 +1,100 @@
+"""Finding baseline: adopt rflint on legacy findings, then only shrink.
+
+A baseline file records fingerprints of *accepted* findings. Linting with
+``--baseline`` subtracts them from the result, so a tree with known debt
+still gates on anything new; ``--update-baseline`` rewrites the file from
+the current findings. CI additionally asserts the file never grows in a
+change — the ratchet: debt can be paid down or carried, never added.
+
+Fingerprints are ``sha256(path :: rule :: message)`` with a
+per-fingerprint *count*, deliberately excluding line numbers: moving code
+must not churn the baseline, but a second identical violation in the same
+file is new debt and shows up.
+
+This repository ships an **empty** baseline (``.rflint-baseline.json``):
+RFP001–RFP014 hold everywhere, and the ratchet keeps it that way.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.devtools.engine import Finding
+
+__all__ = ["Baseline", "fingerprint"]
+
+_BASELINE_VERSION = 1
+
+
+def fingerprint(finding: Finding) -> str:
+    """Line-number-independent identity of a finding."""
+    material = f"{finding.path}::{finding.rule_id}::{finding.message}"
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:20]
+
+
+class Baseline:
+    """Accepted-finding counts keyed by fingerprint."""
+
+    def __init__(self, counts: dict[str, int] | None = None) -> None:
+        self.counts: dict[str, int] = dict(counts or {})
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return cls()
+        except (OSError, ValueError) as error:
+            raise ValueError(f"unreadable baseline {path}: {error}") from None
+        counts = raw.get("findings", {}) if isinstance(raw, dict) else {}
+        if not isinstance(counts, dict):
+            raise ValueError(f"malformed baseline {path}")
+        return cls({str(k): int(v) for k, v in counts.items()})
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        baseline = cls()
+        for finding in findings:
+            key = fingerprint(finding)
+            baseline.counts[key] = baseline.counts.get(key, 0) + 1
+        return baseline
+
+    def filter(self, findings: Sequence[Finding]) -> list[Finding]:
+        """The findings NOT covered by this baseline.
+
+        Each baselined fingerprint absorbs up to its recorded count;
+        occurrences beyond that are new debt and pass through.
+        """
+        remaining = dict(self.counts)
+        fresh: list[Finding] = []
+        for finding in findings:
+            key = fingerprint(finding)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+            else:
+                fresh.append(finding)
+        return fresh
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": _BASELINE_VERSION,
+            "total": self.total,
+            "findings": dict(sorted(self.counts.items())),
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+
+    def grows_over(self, previous: "Baseline") -> list[str]:
+        """Fingerprints whose count increased vs ``previous`` (CI ratchet)."""
+        return sorted(
+            key for key, count in self.counts.items()
+            if count > previous.counts.get(key, 0)
+        )

@@ -1,0 +1,120 @@
+"""Content-hash incremental cache for the rflint per-file pass.
+
+One JSON file per cache directory maps each linted path to the sha256 of
+its content plus the local findings and project facts computed from it.
+A warm run re-analyzes only files whose hash changed; everything else is
+served from the cache — including its facts, so the (always re-run)
+project pass still sees the whole tree.
+
+The store is keyed by a *stamp*: fact schema version + registered rule
+ids + lint configuration fingerprint. Any of those changing abandons the
+whole store — incremental reuse is only sound while the analysis itself
+is unchanged.
+
+Cached findings carry no auto-fix payloads (edits reference exact spans
+that are only trustworthy against a freshly parsed tree), which is why
+``--fix`` runs uncached.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.devtools.engine import Finding, LintConfig, all_rules
+
+__all__ = ["CACHE_FILE_NAME", "LintCache", "cache_stamp"]
+
+CACHE_FILE_NAME = "rflint-cache.json"
+_CACHE_LAYOUT_VERSION = 1
+
+
+def cache_stamp(config: LintConfig) -> str:
+    """Fingerprint of everything that invalidates cached results."""
+    from repro.devtools.project import FACTS_SCHEMA_VERSION
+
+    return json.dumps(
+        {
+            "layout": _CACHE_LAYOUT_VERSION,
+            "facts": FACTS_SCHEMA_VERSION,
+            "rules": sorted(all_rules()),
+            "config": config.stamp(),
+        },
+        sort_keys=True,
+    )
+
+
+class LintCache:
+    """The on-disk incremental store; one instance per lint run."""
+
+    def __init__(self, directory: Path, stamp: str) -> None:
+        self.directory = directory
+        self.stamp = stamp
+        self.path = directory / CACHE_FILE_NAME
+        self._entries: dict[str, dict[str, Any]] = {}
+        self._dirty = False
+        self._load()
+
+    @classmethod
+    def open(cls, directory: Path | str, config: LintConfig) -> "LintCache":
+        return cls(Path(directory), cache_stamp(config))
+
+    def _load(self) -> None:
+        try:
+            raw = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(raw, dict) or raw.get("stamp") != self.stamp:
+            self._dirty = True  # stale layout/ruleset: rewrite on save
+            return
+        entries = raw.get("entries")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def lookup(
+        self, display_path: str, content_hash: str
+    ) -> tuple[list[Finding], dict[str, Any] | None] | None:
+        """Cached ``(findings, facts)`` for an unchanged file, else None."""
+        entry = self._entries.get(display_path)
+        if entry is None or entry.get("hash") != content_hash:
+            return None
+        findings = [Finding.from_dict(record)
+                    for record in entry.get("findings", [])]
+        facts = entry.get("facts")
+        return findings, facts if isinstance(facts, dict) else None
+
+    def store(
+        self,
+        display_path: str,
+        content_hash: str,
+        findings: list[Finding],
+        facts: dict[str, Any] | None,
+    ) -> None:
+        self._entries[display_path] = {
+            "hash": content_hash,
+            "findings": [finding.to_dict() for finding in findings],
+            "facts": facts,
+        }
+        self._dirty = True
+
+    def prune(self, keep: set[str]) -> None:
+        """Drop entries for files no longer part of the linted set."""
+        stale = [path for path in self._entries if path not in keep]
+        for path in stale:
+            del self._entries[path]
+            self._dirty = True
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            payload = {"stamp": self.stamp, "entries": self._entries}
+            tmp = self.path.with_suffix(".tmp")
+            tmp.write_text(json.dumps(payload, sort_keys=True),
+                           encoding="utf-8")
+            tmp.replace(self.path)
+        except OSError:
+            return  # a cache that cannot persist is just a cold cache
+        self._dirty = False

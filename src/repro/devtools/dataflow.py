@@ -1,0 +1,354 @@
+"""Intraprocedural dataflow for rflint: dtype tags through one function.
+
+The per-file dtype rule (RFP004) can only see one call at a time — it
+checks that array constructors *spell* a dtype. This module tracks what
+the dtypes *do*: a small abstract interpreter walks one function body in
+source order, tagging local names with an element-dtype lattice value and
+reporting where a ``float64`` value flows into a ``float32`` buffer. The
+project layer (:mod:`repro.devtools.project`) additionally records the
+tags of call arguments so RFP013 can follow a tagged value across modules
+into a callee whose parameter annotation pins the other precision.
+
+The lattice is deliberately coarse — ``complex > float64 > float32``,
+anything else is unknown — because the repo's dtype *policy* is coarse:
+the hot path pins ``complex128``/``float64`` (PR 2), and the failure mode
+worth catching statically is a silent precision drop, not exact dtype
+arithmetic. Joins take the wider side, matching numpy promotion for the
+array-vs-array cases we track (python scalars are weak and do not widen).
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+
+from repro.devtools.rules import resolve
+
+__all__ = [
+    "COMPLEX",
+    "FLOAT32",
+    "FLOAT64",
+    "DtypeAnalysis",
+    "analyze_dtypes",
+    "tag_of_annotation",
+    "tag_of_dtype_expr",
+]
+
+FLOAT32 = "float32"
+FLOAT64 = "float64"
+COMPLEX = "complex"
+
+_TAG_BY_NAME = {
+    "float32": FLOAT32,
+    "single": FLOAT32,
+    "float64": FLOAT64,
+    "double": FLOAT64,
+    "float": FLOAT64,  # numpy's default float is 64-bit
+    "float_": FLOAT64,
+    "complex64": COMPLEX,
+    "complex128": COMPLEX,
+    "complex": COMPLEX,
+    "csingle": COMPLEX,
+    "cdouble": COMPLEX,
+}
+
+#: numpy constructors taking ``dtype=`` (positional slot is 0-based).
+_CONSTRUCTORS = {
+    "numpy.zeros": 1,
+    "numpy.ones": 1,
+    "numpy.empty": 1,
+    "numpy.full": 2,
+    "numpy.array": 1,
+    "numpy.asarray": 1,
+    "numpy.arange": 3,
+    "numpy.linspace": 5,
+}
+
+#: Elementwise/layout calls whose result dtype follows their first argument.
+_PASSTHROUGH = frozenset(
+    {
+        "numpy.ascontiguousarray",
+        "numpy.copy",
+        "numpy.sqrt",
+        "numpy.square",
+        "numpy.exp",
+        "numpy.log",
+        "numpy.clip",
+    }
+)
+
+#: ``numpy.float64(x)``-style scalar casts.
+_CASTS = {
+    "numpy." + name: tag
+    for name, tag in _TAG_BY_NAME.items()
+    if name not in ("float", "complex")
+}
+
+
+def _tag_of_terminal(name: str) -> str | None:
+    return _TAG_BY_NAME.get(name)
+
+
+def tag_of_dtype_expr(node: ast.AST, aliases: dict[str, str]) -> str | None:
+    """The lattice tag a ``dtype=`` expression pins, or ``None``.
+
+    Handles ``np.float32``, ``"float32"`` strings, the ``float`` builtin,
+    and ``np.dtype(...)`` wrappers.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return _tag_of_terminal(node.value.lower())
+    if isinstance(node, ast.Name):
+        return _tag_of_terminal(node.id)
+    if isinstance(node, ast.Attribute):
+        target = resolve(node, aliases)
+        if target is not None:
+            return _tag_of_terminal(target.rsplit(".", 1)[-1])
+        return _tag_of_terminal(node.attr)
+    if isinstance(node, ast.Call) and node.args:
+        if resolve(node.func, aliases) == "numpy.dtype":
+            return tag_of_dtype_expr(node.args[0], aliases)
+    return None
+
+
+def tag_of_annotation(node: ast.AST | None,
+                      aliases: dict[str, str]) -> str | None:
+    """The dtype tag a parameter/return annotation pins, or ``None``.
+
+    Scans the whole annotation expression so parametrized forms like
+    ``npt.NDArray[np.float32]`` and string annotations resolve too.
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    found: str | None = None
+    for child in ast.walk(node):
+        tag: str | None = None
+        if isinstance(child, ast.Attribute):
+            tag = _tag_of_terminal(child.attr)
+        elif isinstance(child, ast.Name):
+            tag = _tag_of_terminal(child.id) if child.id != "float" else None
+        if tag is not None:
+            # Widest tag wins so NDArray[np.float32] | np.float64 ~ float64.
+            found = _join(found, tag)
+    return found
+
+
+def _join(left: str | None, right: str | None) -> str | None:
+    """Lattice join: complex > float64 > float32 > unknown (weak)."""
+    if left == COMPLEX or right == COMPLEX:
+        return COMPLEX
+    if left == FLOAT64 or right == FLOAT64:
+        return FLOAT64
+    return left or right
+
+
+@dataclasses.dataclass
+class DtypeAnalysis:
+    """What the dtype pass learned about one function."""
+
+    #: ``(line, col, message)`` — local float64-into-float32 stores.
+    violations: list[tuple[int, int, str]]
+    #: ``(line, col)`` of each call -> ``[(arg slot, tag), ...]`` where
+    #: slot is a positional index as a string ("0") or a keyword name.
+    call_args: dict[tuple[int, int], list[tuple[str, str]]]
+    #: Final tag per local name (exposed for tests).
+    env: dict[str, str]
+
+
+class _DtypeInterp:
+    def __init__(self, aliases: dict[str, str],
+                 param_tags: dict[str, str]) -> None:
+        self.aliases = aliases
+        self.env: dict[str, str] = dict(param_tags)
+        self.violations: list[tuple[int, int, str]] = []
+        self.call_args: dict[tuple[int, int], list[tuple[str, str]]] = {}
+
+    # -- expression tags ---------------------------------------------------
+
+    def tag_of(self, node: ast.AST) -> str | None:
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id)
+        if isinstance(node, ast.Subscript):
+            return self.tag_of(node.value)
+        if isinstance(node, ast.Attribute):
+            if node.attr in ("T", "flat"):
+                return self.tag_of(node.value)
+            if node.attr in ("real", "imag"):
+                inner = self.tag_of(node.value)
+                return FLOAT64 if inner == COMPLEX else inner
+            target = resolve(node, self.aliases)
+            if target is not None and target in _CASTS:
+                return _CASTS[target]
+            return None
+        if isinstance(node, ast.Call):
+            return self._tag_of_call(node)
+        if isinstance(node, ast.BinOp):
+            return _join(self.tag_of(node.left), self.tag_of(node.right))
+        if isinstance(node, ast.UnaryOp):
+            return self.tag_of(node.operand)
+        if isinstance(node, ast.IfExp):
+            return _join(self.tag_of(node.body), self.tag_of(node.orelse))
+        return None
+
+    def _dtype_keyword(self, node: ast.Call) -> ast.AST | None:
+        for keyword in node.keywords:
+            if keyword.arg == "dtype":
+                return keyword.value
+        return None
+
+    def _tag_of_call(self, node: ast.Call) -> str | None:
+        # x.astype(np.float32) — the cast wins regardless of x.
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "astype":
+            dtype_expr = self._dtype_keyword(node) or (
+                node.args[0] if node.args else None
+            )
+            if dtype_expr is not None:
+                return tag_of_dtype_expr(dtype_expr, self.aliases)
+            return None
+        target = resolve(node.func, self.aliases)
+        if target is None:
+            return None
+        if target in _CASTS:
+            return _CASTS[target]
+        if target in ("numpy.abs", "numpy.absolute"):
+            inner = self.tag_of(node.args[0]) if node.args else None
+            return FLOAT64 if inner == COMPLEX else inner
+        slot = _CONSTRUCTORS.get(target)
+        if slot is not None:
+            dtype_expr = self._dtype_keyword(node)
+            if dtype_expr is None and len(node.args) > slot:
+                dtype_expr = node.args[slot]
+            if dtype_expr is not None:
+                return tag_of_dtype_expr(dtype_expr, self.aliases)
+            if target in ("numpy.array", "numpy.asarray") and node.args:
+                return self.tag_of(node.args[0])
+            return None
+        if target in _PASSTHROUGH and node.args:
+            return self.tag_of(node.args[0])
+        return None
+
+    # -- statement walk ----------------------------------------------------
+
+    def run(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self._statement(stmt)
+
+    def _statement(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return  # nested scopes are analyzed on their own
+        self._record_calls(stmt)
+        if isinstance(stmt, ast.Assign):
+            value_tag = self.tag_of(stmt.value)
+            for target in stmt.targets:
+                self._store(target, stmt.value, value_tag)
+        elif isinstance(stmt, ast.AnnAssign):
+            tag = tag_of_annotation(stmt.annotation, self.aliases)
+            if tag is None and stmt.value is not None:
+                tag = self.tag_of(stmt.value)
+            self._store(stmt.target, stmt.value, tag)
+        elif isinstance(stmt, ast.AugAssign):
+            self._store(stmt.target, stmt.value, self.tag_of(stmt.value),
+                        augmented=True)
+        for body in self._nested_bodies(stmt):
+            self.run(body)
+
+    @staticmethod
+    def _nested_bodies(stmt: ast.stmt) -> list[list[ast.stmt]]:
+        bodies: list[list[ast.stmt]] = []
+        for field in ("body", "orelse", "finalbody"):
+            block = getattr(stmt, field, None)
+            if isinstance(block, list) and block and isinstance(
+                block[0], ast.stmt
+            ):
+                bodies.append(block)
+        for handler in getattr(stmt, "handlers", []):
+            bodies.append(handler.body)
+        return bodies
+
+    def _store(self, target: ast.AST, value: ast.AST | None,
+               value_tag: str | None, *, augmented: bool = False) -> None:
+        if isinstance(target, ast.Name):
+            if augmented:
+                value_tag = _join(self.env.get(target.id), value_tag)
+            if value_tag is not None:
+                self.env[target.id] = value_tag
+            else:
+                self.env.pop(target.id, None)
+        elif isinstance(target, ast.Subscript):
+            buffer_tag = self.tag_of(target.value)
+            if buffer_tag == FLOAT32 and value_tag in (FLOAT64, COMPLEX):
+                name = (target.value.id
+                        if isinstance(target.value, ast.Name) else "buffer")
+                self.violations.append((
+                    target.lineno, target.col_offset + 1,
+                    f"{value_tag} value stored into float32 buffer "
+                    f"{name!r} silently narrows precision; cast explicitly "
+                    f"or widen the buffer",
+                ))
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._store(element, None, None)
+
+    def _record_calls(self, stmt: ast.stmt) -> None:
+        for node in _walk_no_nested_defs(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            tags: list[tuple[str, str]] = []
+            for index, arg in enumerate(node.args):
+                tag = self.tag_of(arg)
+                if tag is not None:
+                    tags.append((str(index), tag))
+            for keyword in node.keywords:
+                if keyword.arg is None:
+                    continue
+                tag = self.tag_of(keyword.value)
+                if tag is not None:
+                    tags.append((keyword.arg, tag))
+            if tags:
+                self.call_args[(node.lineno, node.col_offset)] = tags
+
+
+def _walk_no_nested_defs(root: ast.AST) -> "list[ast.AST]":
+    found: list[ast.AST] = []
+    stack: list[ast.AST] = [root]
+    while stack:
+        node = stack.pop()
+        if node is not root and isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        found.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    return found
+
+
+def analyze_dtypes(
+    function: ast.FunctionDef | ast.AsyncFunctionDef,
+    aliases: dict[str, str],
+) -> DtypeAnalysis:
+    """Run the dtype pass over one function body.
+
+    Parameter annotations seed the environment, so a parameter annotated
+    ``np.float32``/``NDArray[np.float32]`` is a float32 buffer from line
+    one. Flow is approximated in source order (later stores win; branches
+    are walked in sequence) — coarse, but monotone on the tiny lattice we
+    track, and it never *invents* a tag.
+    """
+    param_tags: dict[str, str] = {}
+    args = function.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        tag = tag_of_annotation(arg.annotation, aliases)
+        if tag is not None:
+            param_tags[arg.arg] = tag
+    interp = _DtypeInterp(aliases, param_tags)
+    interp.run(function.body)
+    return DtypeAnalysis(
+        violations=interp.violations,
+        call_args=interp.call_args,
+        env=dict(interp.env),
+    )

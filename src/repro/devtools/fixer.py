@@ -1,0 +1,71 @@
+"""The rflint auto-fixer: apply ``TextEdit`` payloads to source text.
+
+Rules attach :class:`~repro.devtools.engine.TextEdit` spans to findings
+they know how to repair mechanically (today RFP004 missing ``dtype=`` on
+zero-filled constructors and RFP005 mutable defaults). ``rfprotect lint
+--fix`` collects those per file, applies them bottom-up (so earlier spans
+stay valid), skips anything overlapping, rewrites the file, and re-lints
+— the fixer is idempotent: a second ``--fix`` run finds nothing to do.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable, Sequence
+
+from repro.devtools.engine import Finding, TextEdit
+
+__all__ = ["FixOutcome", "apply_edits", "fixable"]
+
+
+@dataclasses.dataclass(frozen=True)
+class FixOutcome:
+    """Result of fixing one file."""
+
+    text: str
+    applied: int
+    skipped: int
+
+
+def fixable(findings: Iterable[Finding]) -> list[Finding]:
+    return [finding for finding in findings if finding.fixes]
+
+
+def _offset(line_starts: list[int], line: int, col: int) -> int:
+    return line_starts[line - 1] + col
+
+
+def _line_starts(text: str) -> list[int]:
+    starts = [0]
+    for index, char in enumerate(text):
+        if char == "\n":
+            starts.append(index + 1)
+    return starts
+
+
+def apply_edits(text: str, edits: Sequence[TextEdit]) -> FixOutcome:
+    """Apply non-overlapping edits to ``text``, last-span-first."""
+    starts = _line_starts(text)
+
+    def span(edit: TextEdit) -> tuple[int, int]:
+        return (
+            _offset(starts, edit.line, edit.col),
+            _offset(starts, edit.end_line, edit.end_col),
+        )
+
+    ordered = sorted(
+        {(span(edit), edit.text) for edit in edits},
+        key=lambda item: item[0],
+        reverse=True,
+    )
+    applied = 0
+    skipped = 0
+    last_start = len(text) + 1
+    for (start, end), replacement in ordered:
+        if end > last_start or end < start:
+            skipped += 1  # overlaps an already-applied edit
+            continue
+        text = text[:start] + replacement + text[end:]
+        last_start = start
+        applied += 1
+    return FixOutcome(text=text, applied=applied, skipped=skipped)

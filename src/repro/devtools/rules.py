@@ -7,8 +7,10 @@ count), no wall-clock/uuid nondeterminism in result paths, centralized
 and hygiene classics (mutable defaults, swallowed exceptions, unseeded
 test RNGs).
 
-Rule ids are stable: ``RFP001``–``RFP009``. Suppress a deliberate
-violation with a trailing ``# rflint: disable=RFP00x`` comment.
+Rule ids are stable: ``RFP001``–``RFP009`` here; the cross-module rules
+``RFP010``–``RFP014`` live in :mod:`repro.devtools.projectrules`.
+Suppress a deliberate violation with a trailing ``# rflint:
+disable=RFP00x`` comment (it covers the statement's whole line span).
 """
 
 from __future__ import annotations
@@ -16,7 +18,7 @@ from __future__ import annotations
 import ast
 from collections.abc import Iterator
 
-from repro.devtools.engine import Finding, Rule, SourceFile, register
+from repro.devtools.engine import Finding, Rule, SourceFile, TextEdit, register
 
 __all__ = [
     "GlobalRandomState",
@@ -299,7 +301,42 @@ class DtypeDiscipline(Rule):
                     source, node,
                     f"{target}() without an explicit dtype=; the hot path "
                     f"must pin complex128/float64 precision",
+                    fixes=self._dtype_fix(source, node, target or "",
+                                          aliases),
                 )
+
+    @staticmethod
+    def _dtype_fix(source: SourceFile, node: ast.Call, target: str,
+                   aliases: dict[str, str]) -> tuple[TextEdit, ...]:
+        """Insert ``dtype=<np>.float64`` before the closing paren.
+
+        Only for zero/one/empty constructors, whose numpy default *is*
+        float64 — the edit makes the existing dtype explicit, it never
+        changes it. ``np.full`` infers its dtype from the fill value, so
+        no mechanical fix is safe there.
+        """
+        if target == "numpy.full":
+            return ()
+        numpy_alias = next(
+            (name for name, dotted in aliases.items() if dotted == "numpy"),
+            None,
+        )
+        if numpy_alias is None or node.end_lineno is None or (
+            node.end_col_offset is None
+        ):
+            return ()
+        closing_line = source.text.splitlines()[node.end_lineno - 1]
+        before_paren = closing_line[: node.end_col_offset - 1].rstrip()
+        joiner = " " if before_paren.endswith(",") else ", "
+        return (
+            TextEdit(
+                line=node.end_lineno,
+                col=node.end_col_offset - 1,
+                end_line=node.end_lineno,
+                end_col=node.end_col_offset - 1,
+                text=f"{joiner}dtype={numpy_alias}.float64",
+            ),
+        )
 
     def _check_complex_downcasts(
         self,
@@ -397,17 +434,73 @@ class MutableDefaultArgument(Rule):
         for node in ast.walk(source.tree):
             if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue
-            defaults = list(node.args.defaults) + [
-                default for default in node.args.kw_defaults
-                if default is not None
-            ]
-            for default in defaults:
+            for name, default in self._defaults_with_names(node):
                 if self._is_mutable(default, aliases):
                     yield self.finding(
                         source, default,
                         f"mutable default argument in {node.name}(); default "
                         f"to None and construct inside the function",
+                        fixes=self._none_fix(source, node, name, default),
                     )
+
+    @staticmethod
+    def _defaults_with_names(
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> list[tuple[str, ast.expr]]:
+        pairs: list[tuple[str, ast.expr]] = []
+        positional = node.args.posonlyargs + node.args.args
+        tail = positional[len(positional) - len(node.args.defaults):]
+        pairs.extend(
+            (arg.arg, default)
+            for arg, default in zip(tail, node.args.defaults)
+        )
+        pairs.extend(
+            (arg.arg, default)
+            for arg, default in zip(node.args.kwonlyargs,
+                                    node.args.kw_defaults)
+            if default is not None
+        )
+        return pairs
+
+    @staticmethod
+    def _none_fix(source: SourceFile, node: ast.FunctionDef |
+                  ast.AsyncFunctionDef, name: str,
+                  default: ast.expr) -> tuple[TextEdit, ...]:
+        """Swap the default for ``None`` and guard-construct in the body.
+
+        Skipped for one-line defs (no body line to insert into) and when
+        the original default expression cannot be recovered verbatim.
+        """
+        if not node.body or default.end_lineno is None or (
+            default.end_col_offset is None
+        ):
+            return ()
+        first = node.body[0]
+        insert_before = first
+        if (len(node.body) > 1 and isinstance(first, ast.Expr)
+                and isinstance(first.value, ast.Constant)
+                and isinstance(first.value.value, str)):
+            insert_before = node.body[1]  # keep the docstring on top
+        if insert_before.lineno <= node.lineno:
+            return ()  # one-line def; nowhere safe to insert
+        original = ast.get_source_segment(source.text, default)
+        if original is None or "\n" in original:
+            return ()
+        indent = " " * insert_before.col_offset
+        guard = (f"{indent}if {name} is None:\n"
+                 f"{indent}    {name} = {original}\n")
+        return (
+            TextEdit(
+                line=default.lineno, col=default.col_offset,
+                end_line=default.end_lineno, end_col=default.end_col_offset,
+                text="None",
+            ),
+            TextEdit(
+                line=insert_before.lineno, col=0,
+                end_line=insert_before.lineno, end_col=0,
+                text=guard,
+            ),
+        )
 
 
 @register

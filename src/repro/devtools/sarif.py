@@ -1,0 +1,84 @@
+"""SARIF 2.1.0 emission for rflint findings.
+
+GitHub's code-scanning upload (``github/codeql-action/upload-sarif``)
+turns this into inline PR annotations — each finding becomes a ``result``
+pointing at its physical location, and every registered rule ships a
+``reportingDescriptor`` so the annotation links back to the rule's
+documentation string.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+from repro.devtools.engine import Finding, all_rules
+
+__all__ = ["to_sarif"]
+
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_descriptors() -> list[dict[str, Any]]:
+    descriptors: list[dict[str, Any]] = []
+    for rule_id, rule_cls in all_rules().items():
+        doc = (rule_cls.__doc__ or rule_cls.title).strip()
+        descriptors.append({
+            "id": rule_id,
+            "name": rule_cls.__name__,
+            "shortDescription": {"text": rule_cls.title},
+            "fullDescription": {"text": doc.splitlines()[0]},
+            "help": {"text": doc},
+            "defaultConfiguration": {"level": "error"},
+        })
+    return descriptors
+
+
+def to_sarif(findings: Sequence[Finding]) -> dict[str, Any]:
+    """The findings as a single-run SARIF 2.1.0 log object."""
+    rule_index = {rule_id: index
+                  for index, rule_id in enumerate(all_rules())}
+    results: list[dict[str, Any]] = []
+    for finding in findings:
+        result: dict[str, Any] = {
+            "ruleId": finding.rule_id,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col,
+                    },
+                },
+            }],
+        }
+        index = rule_index.get(finding.rule_id)
+        if index is not None:
+            result["ruleIndex"] = index
+        results.append(result)
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "rflint",
+                    "informationUri":
+                        "https://github.com/rf-protect/rf-protect-repro",
+                    "rules": _rule_descriptors(),
+                },
+            },
+            "columnKind": "unicodeCodePoints",
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "results": results,
+        }],
+    }

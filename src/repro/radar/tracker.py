@@ -525,6 +525,19 @@ class StreamingTracker:
     #: Checkpoint schema version (bump on incompatible state changes).
     CHECKPOINT_VERSION = 1
 
+    #: Exactly the payload keys :meth:`checkpoint` writes and
+    #: :meth:`from_checkpoint` reads. rflint RFP012 cross-checks all
+    #: three, so editing the payload forces an edit here — and with it
+    #: a CHECKPOINT_VERSION bump for any incompatible change.
+    CHECKPOINT_FIELDS = (
+        "version",
+        "config",
+        "next_track_id",
+        "frame_times",
+        "active",
+        "finished",
+    )
+
     def __init__(self, array: UniformLinearArray | None = None,
                  config: TrackerConfig | None = None) -> None:
         self.array = array
@@ -653,8 +666,13 @@ class StreamingTracker:
     @classmethod
     def from_checkpoint(cls, state: dict[str, Any],
                         array: UniformLinearArray | None = None,
-                        ) -> StreamingTracker:
+                        ) -> StreamingTracker:  # rflint: blocking
         """Rebuild a tracker from a :meth:`checkpoint` blob.
+
+        CPU-bound in proportion to checkpoint size (rebuilds every
+        track's Kalman state), hence marked ``# rflint: blocking``:
+        coroutines reaching this synchronously get an RFP014 finding and
+        must either accept the cost explicitly or move it off-loop.
 
         Args:
             state: the checkpoint blob.

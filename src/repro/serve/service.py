@@ -316,24 +316,45 @@ class SenseService:
         return session.session_id
 
     async def session_checkpoint(self, session_id: str) -> dict[str, object]:
-        """The session's current tracker checkpoint (JSON-serializable)."""
-        return self.sessions.checkpoint_of(session_id)
+        """The session's current tracker checkpoint (JSON-serializable).
+
+        Takes the session lock: a snapshot cut mid-ingestion would mix
+        pre- and post-frame tracker state into one blob.
+        """
+        session = self.sessions.peek(session_id)
+        async with session.lock:
+            return self.sessions.checkpoint_of(session_id)
 
     async def restore_session(self, session_id: str,
                               checkpoint: dict[str, object]) -> str:
-        """Open a session primed from a previously exported checkpoint."""
+        """Open a session primed from a previously exported checkpoint.
+
+        The prime-then-restore swap runs under the session lock so a
+        concurrent tracked request (or the eviction sweep) can never see
+        the half-initialized tracker/checkpoint pair.
+        """
         loop = asyncio.get_running_loop()
         now = loop.time()
         session = self.sessions.create(session_id, now=now)
-        session.checkpoint = dict(checkpoint)
-        session.tracker = None
-        self.sessions.get(session_id, now=now)
+        async with session.lock:
+            session.checkpoint = dict(checkpoint)
+            session.tracker = None
+            # Checkpoint restore is CPU-bound on checkpoint size; for the
+            # session-open path we take that cost on-loop deliberately —
+            # it is a one-off, admission-rate-limited operation.
+            self.sessions.get(session_id, now=now)  # rflint: disable=RFP014 -- accepted one-off restore cost
         return session.session_id
 
     async def end_session(self, session_id: str) -> dict[str, object]:
-        """Close the session; returns its final checkpoint blob."""
-        checkpoint = self.sessions.checkpoint_of(session_id)
-        self.sessions.remove(session_id)
+        """Close the session; returns its final checkpoint blob.
+
+        Takes the session lock so the final snapshot cannot interleave
+        with an in-flight tracked request's frame ingestion.
+        """
+        session = self.sessions.peek(session_id)
+        async with session.lock:
+            checkpoint = self.sessions.checkpoint_of(session_id)
+            self.sessions.remove(session_id)
         return checkpoint
 
     async def submit_tracked(self, request: TrackRequest) -> TrackResponse:
@@ -355,7 +376,14 @@ class SenseService:
         async with session.lock:
             # Re-fetch under the lock: the eviction sweep may have parked
             # the session between peek and acquisition; get() restores it.
-            session = self.sessions.get(request.session_id, now=loop.time())
+            # The restore path is CPU-bound (rebuilds Kalman state) and
+            # runs on-loop deliberately: it is serialized per session by
+            # this lock, bounded by checkpoint size, and moving it to the
+            # executor would let the batcher interleave with a
+            # half-restored tracker.
+            session = self.sessions.get(
+                request.session_id, now=loop.time()
+            )  # rflint: disable=RFP014 -- deliberate on-loop restore, see comment above
             tracker = session.tracker
             assert tracker is not None
             config = (request.config if request.config is not None

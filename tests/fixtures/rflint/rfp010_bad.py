@@ -1,0 +1,17 @@
+"""Bad: lock-guarded session state touched outside the lock (RFP010)."""
+
+import asyncio
+
+
+class Session:
+    def __init__(self) -> None:
+        self.lock = asyncio.Lock()
+        self.frames = 0
+
+    async def ingest(self, count: int) -> None:
+        async with self.lock:
+            self.frames = self.frames + count
+
+    def frames_seen(self) -> int:
+        # Reads state mutated under the lock, without holding it.
+        return self.frames

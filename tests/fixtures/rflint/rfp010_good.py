@@ -1,0 +1,25 @@
+"""Good: every touch of lock-guarded state holds the lock (RFP010).
+
+``_advance`` mutates the guarded field without taking the lock itself,
+but it is only ever called *with the lock held* — the call-graph closure
+exempts it.
+"""
+
+import asyncio
+
+
+class Session:
+    def __init__(self) -> None:
+        self.lock = asyncio.Lock()
+        self.frames = 0
+
+    def _advance(self, count: int) -> None:
+        self.frames = self.frames + count
+
+    async def ingest(self, count: int) -> None:
+        async with self.lock:
+            self._advance(count)
+
+    async def frames_seen(self) -> int:
+        async with self.lock:
+            return self.frames

@@ -1,0 +1,15 @@
+"""Bad: kernel registrations break the StageFn protocol (RFP011)."""
+
+from repro.radar.stages import KERNELS, Stage
+
+
+@KERNELS.register(Stage.DOA, "naive")
+def doa_naive(ctx, window):
+    # Two required parameters: does not satisfy StageFn.
+    return ctx
+
+
+@KERNELS.register(Stage.DOA, "naive")
+def doa_naive_again(ctx):
+    # Duplicate (stage, backend) slot: raises at import time.
+    return ctx

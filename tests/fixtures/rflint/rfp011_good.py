@@ -1,0 +1,19 @@
+"""Good: one conforming kernel per (stage, backend) slot (RFP011)."""
+
+from repro.radar.stages import KERNELS, Stage
+
+
+@KERNELS.register(Stage.DOA, "naive")
+def doa_naive(ctx):
+    return ctx
+
+
+@KERNELS.register(Stage.DOA, "vectorized")
+def doa_vectorized(ctx):
+    return ctx
+
+
+@KERNELS.register(Stage.RANGE_FFT, backend="naive")
+def range_fft_naive(*args):
+    # Pure-varargs adapters satisfy the protocol too.
+    return args[0]

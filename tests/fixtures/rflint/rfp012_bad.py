@@ -1,0 +1,26 @@
+"""Bad: checkpoint payload drifts from its declared schema (RFP012)."""
+
+
+class Counter:
+    CHECKPOINT_VERSION = 1
+    CHECKPOINT_FIELDS = ("version", "count")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.label = ""
+
+    def checkpoint(self):
+        # Writes 'label', which CHECKPOINT_FIELDS never declared.
+        return {
+            "version": self.CHECKPOINT_VERSION,
+            "count": self.count,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_checkpoint(cls, state):
+        # Reads the undeclared key, and never checks CHECKPOINT_VERSION.
+        restored = cls()
+        restored.count = state["count"]
+        restored.label = state["label"]
+        return restored

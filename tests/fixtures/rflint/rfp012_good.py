@@ -1,0 +1,23 @@
+"""Good: declared, versioned, symmetric checkpoint schema (RFP012)."""
+
+
+class Counter:
+    CHECKPOINT_VERSION = 2
+    CHECKPOINT_FIELDS = ("version", "count")
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def checkpoint(self):
+        return {
+            "version": self.CHECKPOINT_VERSION,
+            "count": self.count,
+        }
+
+    @classmethod
+    def from_checkpoint(cls, state):
+        if state["version"] != cls.CHECKPOINT_VERSION:
+            raise ValueError("incompatible checkpoint version")
+        restored = cls()
+        restored.count = state["count"]
+        return restored

@@ -1,0 +1,22 @@
+"""Bad: float64 values narrowed into float32 sinks (RFP013)."""
+
+import numpy as np
+
+
+def accumulate(n: int) -> np.ndarray:
+    out = np.zeros(n, dtype=np.float32)
+    weights = np.ones(n, dtype=np.float64)
+    for index in range(n):
+        # float64 element stored into the float32 buffer.
+        out[index] = weights[index] * 2.0
+    return out
+
+
+def apply_gain(buffer: np.ndarray, gain: np.float32) -> None:
+    buffer *= gain
+
+
+def driver(n: int) -> None:
+    gain = np.float64(2.0)
+    # float64 argument flowing into apply_gain's float32 parameter.
+    apply_gain(np.zeros(n, dtype=np.float32), gain)

@@ -1,0 +1,27 @@
+"""Good: dtype tags stay consistent end to end (RFP013)."""
+
+import numpy as np
+
+
+def accumulate(n: int) -> np.ndarray:
+    out = np.zeros(n, dtype=np.float32)
+    weights = np.ones(n, dtype=np.float32)
+    for index in range(n):
+        out[index] = weights[index]
+    return out
+
+
+def widen(n: int) -> np.ndarray:
+    # Widening float32 -> float64 is always safe.
+    wide = np.zeros(n, dtype=np.float64)
+    wide[0] = np.float32(1.0)
+    return wide
+
+
+def apply_gain(buffer: np.ndarray, gain: np.float32) -> None:
+    buffer *= gain
+
+
+def driver(n: int) -> None:
+    gain = np.float32(2.0)
+    apply_gain(np.zeros(n, dtype=np.float32), gain)

@@ -1,0 +1,32 @@
+"""Bad: coroutines reach blocking code through sync helpers (RFP014).
+
+RFP008 cannot see these — no blocking call appears inside an ``async
+def`` body — but the call graph still stalls the event loop.
+"""
+
+import time
+
+
+def settle(delay: float) -> None:
+    time.sleep(delay)
+
+
+def warm_up(delay: float) -> None:
+    settle(delay)
+
+
+async def handle(delay: float) -> None:
+    # Two sync hops from here sits time.sleep().
+    warm_up(delay)
+
+
+def rebuild_state() -> int:  # rflint: blocking
+    total = 0
+    for value in range(1000):
+        total += value * value
+    return total
+
+
+async def restore() -> None:
+    # Calls a function explicitly marked blocking (CPU-bound).
+    rebuild_state()

@@ -1,0 +1,22 @@
+"""Good: blocking sync work rides the executor (RFP014)."""
+
+import asyncio
+import time
+
+
+def settle(delay: float) -> None:
+    time.sleep(delay)
+
+
+def label(n: int) -> str:
+    # Sync but non-blocking: fine to call from a coroutine.
+    return f"req-{n}"
+
+
+async def handle(delay: float) -> None:
+    loop = asyncio.get_running_loop()
+    await loop.run_in_executor(None, settle, delay)
+
+
+async def tag(n: int) -> str:
+    return label(n)
