@@ -34,6 +34,10 @@ __all__ = [
     "ENV_REGISTRY",
     "EnvVar",
     "LINT_CACHE_VAR",
+    "NN_BACKENDS",
+    "NN_BACKEND_VAR",
+    "NN_DTYPES",
+    "NN_DTYPE_VAR",
     "PIPELINE_BACKENDS",
     "PIPELINE_BACKEND_VAR",
     "SERVE_BATCH_WINDOW_MS_VAR",
@@ -48,6 +52,8 @@ __all__ = [
     "SYNTH_BACKENDS",
     "SYNTH_BACKEND_VAR",
     "get_lint_cache_dir",
+    "get_nn_backend",
+    "get_nn_dtype",
     "get_pipeline_backend",
     "get_serve_batch_window_ms",
     "get_serve_deadline_s",
@@ -68,6 +74,12 @@ SYNTH_BACKENDS: tuple[str, ...] = ("naive", "vectorized")
 
 #: Recognized receive-processing engines (see ``repro.radar.pipeline``).
 PIPELINE_BACKENDS: tuple[str, ...] = ("naive", "vectorized")
+
+#: Recognized recurrent-sequence kernels (see ``repro.nn.recurrent``).
+NN_BACKENDS: tuple[str, ...] = ("naive", "fused")
+
+#: Recognized autograd default dtypes (see ``repro.nn.tensor``).
+NN_DTYPES: tuple[str, ...] = ("float32", "float64")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -150,6 +162,30 @@ PIPELINE_BACKEND_VAR: EnvVar[str] = _register(
         description="receive-processing engine: 'vectorized' (sweep-wide "
                     "FFT + einsum beamforming, repro.radar.pipeline) or "
                     "'naive' (reference per-frame loop)",
+    )
+)
+
+
+NN_BACKEND_VAR: EnvVar[str] = _register(
+    EnvVar(
+        name="RF_PROTECT_NN_BACKEND",
+        default="fused",
+        parse=_backend_parser("RF_PROTECT_NN_BACKEND", NN_BACKENDS),
+        description="recurrent-sequence autograd kernel: 'fused' (whole-"
+                    "sequence scan with one hand-written BPTT backward) or "
+                    "'naive' (reference per-timestep cell graph)",
+    )
+)
+
+
+NN_DTYPE_VAR: EnvVar[str] = _register(
+    EnvVar(
+        name="RF_PROTECT_NN_DTYPE",
+        default="float64",
+        parse=_backend_parser("RF_PROTECT_NN_DTYPE", NN_DTYPES),
+        description="default dtype for autograd leaf tensors and nn "
+                    "parameters: 'float64' (reference precision) or "
+                    "'float32' (faster GEMMs at paper-scale GAN training)",
     )
 )
 
@@ -312,6 +348,16 @@ def get_pipeline_backend(environ: Mapping[str, str] | None = None) -> str:
     return PIPELINE_BACKEND_VAR.read(environ)
 
 
+def get_nn_backend(environ: Mapping[str, str] | None = None) -> str:
+    """The active recurrent-sequence kernel, from ``RF_PROTECT_NN_BACKEND``."""
+    return NN_BACKEND_VAR.read(environ)
+
+
+def get_nn_dtype(environ: Mapping[str, str] | None = None) -> str:
+    """The autograd default dtype name, from ``RF_PROTECT_NN_DTYPE``."""
+    return NN_DTYPE_VAR.read(environ)
+
+
 def get_serve_batch_window_ms(environ: Mapping[str, str] | None = None) -> float:
     """Micro-batching window (ms), from ``RF_PROTECT_SERVE_BATCH_WINDOW_MS``."""
     return SERVE_BATCH_WINDOW_MS_VAR.read(environ)
@@ -364,6 +410,8 @@ ENV_ACCESSORS: dict[str, Callable[[Mapping[str, str] | None], object]] = {
     "RF_PROTECT_LINT_CACHE": get_lint_cache_dir,
     "RF_PROTECT_SYNTH": get_synth_backend,
     "RF_PROTECT_PIPELINE": get_pipeline_backend,
+    "RF_PROTECT_NN_BACKEND": get_nn_backend,
+    "RF_PROTECT_NN_DTYPE": get_nn_dtype,
     "RF_PROTECT_SERVE_BATCH_WINDOW_MS": get_serve_batch_window_ms,
     "RF_PROTECT_SERVE_MAX_BATCH": get_serve_max_batch,
     "RF_PROTECT_SERVE_QUEUE_DEPTH": get_serve_queue_depth,

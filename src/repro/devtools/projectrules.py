@@ -298,7 +298,8 @@ class DtypeFlow(ProjectRule):
 
     rule_id = "RFP013"
     title = "float64 value flows into a float32 sink"
-    include = ("*repro/radar/*", "*repro/signal/*")
+    include = ("*repro/radar/*", "*repro/signal/*", "*repro/nn/*",
+               "*repro/gan/*")
 
     def check_project(self, project: ProjectGraph) -> Iterator[Finding]:
         for facts, fn in project.iter_functions():

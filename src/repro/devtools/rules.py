@@ -275,7 +275,8 @@ class DtypeDiscipline(Rule):
 
     rule_id = "RFP004"
     title = "dtype discipline"
-    include = ("*repro/radar/*", "*repro/signal/*")
+    include = ("*repro/radar/*", "*repro/signal/*", "*repro/nn/*",
+               "*repro/gan/*")
 
     def check(self, source: SourceFile) -> Iterator[Finding]:
         aliases = build_aliases(source.tree)

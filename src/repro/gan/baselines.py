@@ -92,7 +92,7 @@ def random_motion_baseline(count: int, rng: np.random.Generator, *,
     trajectories = []
     for _ in range(count):
         steps = rng.normal(0.0, step_scale, (num_points - 1, 2))
-        points = np.vstack([np.zeros((1, 2)), np.cumsum(steps, axis=0)])
+        points = np.vstack([np.zeros((1, 2), dtype=np.float64), np.cumsum(steps, axis=0)])
         trajectory = Trajectory(points, dt=dt).centered()
         trajectories.append(
             trajectory.replace(label=range_class_of_trajectory(trajectory))

@@ -67,8 +67,9 @@ class TrajectoryDiscriminator(Module):
         features = flat_features.reshape(
             batch_size, num_steps, flat_features.shape[1]
         )
-        sequence = [features[:, t, :] for t in range(num_steps)]
-        return self.bilstm.final_summary(sequence)
+        # Hand the BiLSTM the stacked (T, B, F) form directly so both
+        # directions run through the sequence kernels.
+        return self.bilstm.final_summary(features.transpose((1, 0, 2)))
 
     def forward(self, steps: Tensor | np.ndarray, labels: np.ndarray) -> Tensor:
         """Score a batch of step sequences.

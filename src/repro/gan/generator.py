@@ -14,10 +14,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.nn.functional import concat, embedding, stack
+from repro.nn.functional import concat, embedding, repeat_sequence
 from repro.nn.layers import Embedding, Linear, Module
 from repro.nn.recurrent import LSTM
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, default_dtype
 
 __all__ = ["TrajectoryGenerator"]
 
@@ -51,7 +51,8 @@ class TrajectoryGenerator(Module):
         # class control learnable at CPU model sizes (the paper's 512-unit
         # GPU model learns it through the embedding alone). The trainer
         # initializes it from the dataset's per-class step statistics.
-        self.class_gain = Tensor(np.ones(num_classes), requires_grad=True)
+        self.class_gain = Tensor(np.ones(num_classes, dtype=default_dtype()),
+                                 requires_grad=True)
 
     def forward(self, z: Tensor, labels: np.ndarray) -> Tensor:
         """Generate normalized steps.
@@ -75,9 +76,11 @@ class TrajectoryGenerator(Module):
         condition = concat([z, self.embedding(labels)], axis=1)
         seed = self.input_layer(condition).tanh()
         # The conditioning vector drives every timestep; the LSTM's internal
-        # state provides the step-to-step variation.
-        hidden_states = self.lstm([seed] * self.num_steps)
-        stacked = stack(hidden_states, axis=0)  # (T, B, H)
+        # state provides the step-to-step variation. The whole scan stays in
+        # stacked (T, B, H) form so the fused sequence kernel applies.
+        stacked = self.lstm.forward_sequence(
+            repeat_sequence(seed, self.num_steps)
+        )
         batch_size = z.shape[0]
         hidden_size = stacked.shape[2]
         flat = stacked.reshape(self.num_steps * batch_size, hidden_size)

@@ -25,7 +25,7 @@ def steps_to_trajectory(steps: np.ndarray, *, scale: float, dt: float,
         raise ConfigurationError(f"steps must be (T, 2), got {steps.shape}")
     if scale <= 0 or dt <= 0:
         raise ConfigurationError("scale and dt must be positive")
-    positions = np.vstack([np.zeros((1, 2)), np.cumsum(steps * scale, axis=0)])
+    positions = np.vstack([np.zeros((1, 2), dtype=np.float64), np.cumsum(steps * scale, axis=0)])
     trajectory = Trajectory(positions, dt=dt, label=label)
     return trajectory.centered()
 

@@ -12,6 +12,7 @@ gradient-norm clipping, and fresh noise for the generator step.
 from __future__ import annotations
 
 import dataclasses
+import time
 
 import numpy as np
 
@@ -19,7 +20,9 @@ from repro.errors import TrainingError
 from repro.gan.discriminator import TrajectoryDiscriminator
 from repro.gan.generator import TrajectoryGenerator
 from repro.nn.functional import bce_with_logits
+from repro.nn.metrics import observe_op
 from repro.nn.optim import Adam
+from repro.nn.recurrent import active_sequence_backend
 from repro.trajectories.dataset import TrajectoryDataset
 
 __all__ = ["GanConfig", "GanTrainer", "TrainingHistory"]
@@ -144,17 +147,22 @@ class GanTrainer:
         """
         labels = self.dataset.labels()
         steps = self.dataset.steps_array()
-        gains = np.ones(self.config.num_classes)
+        gains = np.ones(self.config.num_classes, dtype=np.float64)
         for label in range(self.config.num_classes):
             mask = labels == label
             if not np.any(mask):
                 continue
             class_rms = float(np.sqrt(np.mean(steps[mask] ** 2)))
             gains[label] = max(class_rms / self.step_scale, 1e-3)
-        self.generator.class_gain.data = gains
+        # Cast into the parameter's dtype: assigning the float64 statistics
+        # directly would silently re-widen a float32-policy parameter.
+        self.generator.class_gain.data = gains.astype(
+            self.generator.class_gain.data.dtype
+        )
 
     def _discriminator_step(self, real_steps: np.ndarray,
                             labels: np.ndarray) -> tuple[float, float, float]:
+        started = time.perf_counter()
         batch_size = real_steps.shape[0]
         fake_labels = self.rng.integers(0, self.config.num_classes, batch_size)
         noise = self.generator.sample_noise(batch_size, self.rng)
@@ -163,8 +171,10 @@ class GanTrainer:
         self.discriminator_optimizer.zero_grad()
         real_logits = self.discriminator(real_steps, labels)
         fake_logits = self.discriminator(fake_steps, fake_labels)
-        real_targets = np.full(real_logits.shape, self.config.label_smoothing)
-        fake_targets = np.zeros(fake_logits.shape)
+        real_targets = np.full(real_logits.shape, self.config.label_smoothing,
+                               dtype=real_logits.data.dtype)
+        fake_targets = np.zeros(fake_logits.shape,
+                                dtype=fake_logits.data.dtype)
         loss = (bce_with_logits(real_logits, real_targets)
                 + bce_with_logits(fake_logits, fake_targets))
         if self.config.mismatched_label_weight > 0:
@@ -175,17 +185,22 @@ class GanTrainer:
                 1, self.config.num_classes, batch_size)) % self.config.num_classes
             mismatched_logits = self.discriminator(real_steps, wrong_labels)
             loss = loss + self.config.mismatched_label_weight * bce_with_logits(
-                mismatched_logits, np.zeros(mismatched_logits.shape))
+                mismatched_logits,
+                np.zeros(mismatched_logits.shape,
+                         dtype=mismatched_logits.data.dtype))
         loss.backward()
         self.discriminator_optimizer.clip_gradients(self.config.clip_norm)
         self.discriminator_optimizer.step()
 
         real_score = float(1.0 / (1.0 + np.exp(-real_logits.data)).mean())
         fake_score = float(1.0 / (1.0 + np.exp(-fake_logits.data)).mean())
+        observe_op("gan.discriminator_step", active_sequence_backend(),
+                   time.perf_counter() - started)
         return float(loss.data), real_score, fake_score
 
     def _generator_step(self, real_steps: np.ndarray,
                         real_labels: np.ndarray) -> float:
+        started = time.perf_counter()
         batch_size = real_steps.shape[0]
         # Condition the fake batch on the real batch's labels so the
         # feature-matching targets compare like with like.
@@ -197,7 +212,8 @@ class GanTrainer:
         fake_steps = self.generator(noise, labels)
         logits = self.discriminator(fake_steps, labels)
         # Non-saturating generator loss: maximize log D(G(z)).
-        loss = bce_with_logits(logits, np.ones(logits.shape))
+        loss = bce_with_logits(
+            logits, np.ones(logits.shape, dtype=logits.data.dtype))
         if self.config.feature_matching_weight > 0:
             # Feature matching (Salimans et al. 2016): align the mean
             # discriminator features of fake and real batches. Keeps the
@@ -210,6 +226,8 @@ class GanTrainer:
         loss.backward()
         self.generator_optimizer.clip_gradients(self.config.clip_norm)
         self.generator_optimizer.step()
+        observe_op("gan.generator_step", active_sequence_backend(),
+                   time.perf_counter() - started)
         return float(loss.data)
 
     def train(self, *, epochs: int | None = None,

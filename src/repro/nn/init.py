@@ -5,6 +5,12 @@ parameter :class:`~repro.nn.tensor.Tensor`. Glorot/Xavier is the default
 for feed-forward weights, orthogonal for recurrent matrices (it keeps
 long-sequence gradients well-conditioned, which matters for the 50-step
 trajectory LSTMs).
+
+Every initializer takes a ``dtype`` keyword defaulting to the active
+policy (:func:`repro.nn.tensor.default_dtype`). Draws always consume the
+RNG stream in float64 and are cast afterwards, so a float32 run sees
+bitwise ``float64_weights.astype(float32)`` — the same stream position and
+round-to-nearest values the dtype-tolerance tests assume.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.nn.tensor import DTypeLike, resolve_dtype
 
 __all__ = ["xavier_uniform", "uniform", "zeros", "orthogonal"]
 
@@ -22,7 +29,8 @@ def _check_shape(shape: tuple[int, ...]) -> None:
 
 
 def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator,
-                   gain: float = 1.0) -> np.ndarray:
+                   gain: float = 1.0, *,
+                   dtype: DTypeLike | None = None) -> np.ndarray:
     """Glorot uniform: bound ``gain * sqrt(6 / (fan_in + fan_out))``."""
     _check_shape(shape)
     if len(shape) < 2:
@@ -30,26 +38,31 @@ def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator,
     else:
         fan_in, fan_out = shape[-1], shape[-2]
     bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-bound, bound, shape)
+    return rng.uniform(-bound, bound, shape).astype(resolve_dtype(dtype),
+                                                    copy=False)
 
 
 def uniform(shape: tuple[int, ...], rng: np.random.Generator,
-            bound: float = 0.1) -> np.ndarray:
+            bound: float = 0.1, *,
+            dtype: DTypeLike | None = None) -> np.ndarray:
     """Uniform in ``[-bound, bound]``."""
     _check_shape(shape)
     if bound <= 0:
         raise ConfigurationError(f"bound must be positive, got {bound}")
-    return rng.uniform(-bound, bound, shape)
+    return rng.uniform(-bound, bound, shape).astype(resolve_dtype(dtype),
+                                                    copy=False)
 
 
-def zeros(shape: tuple[int, ...]) -> np.ndarray:
+def zeros(shape: tuple[int, ...], *,
+          dtype: DTypeLike | None = None) -> np.ndarray:
     """All zeros (biases)."""
     _check_shape(shape)
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=resolve_dtype(dtype))
 
 
 def orthogonal(shape: tuple[int, ...], rng: np.random.Generator,
-               gain: float = 1.0) -> np.ndarray:
+               gain: float = 1.0, *,
+               dtype: DTypeLike | None = None) -> np.ndarray:
     """(Semi-)orthogonal matrix via QR of a Gaussian draw; 2-D only."""
     _check_shape(shape)
     if len(shape) != 2:
@@ -60,4 +73,4 @@ def orthogonal(shape: tuple[int, ...], rng: np.random.Generator,
     q = q * np.sign(np.diag(r))  # make the decomposition unique
     if rows < cols:
         q = q.T
-    return gain * q[:rows, :cols]
+    return (gain * q[:rows, :cols]).astype(resolve_dtype(dtype), copy=False)

@@ -9,6 +9,7 @@ API so the paper's architecture description maps one-to-one.
 from __future__ import annotations
 
 from collections.abc import Iterator
+from typing import Any
 
 import numpy as np
 
@@ -27,10 +28,10 @@ class Module:
     def __init__(self) -> None:
         self.training = True
 
-    def forward(self, *args, **kwargs) -> Tensor:
+    def forward(self, *args: Any, **kwargs: Any) -> Any:
         raise NotImplementedError
 
-    def __call__(self, *args, **kwargs) -> Tensor:
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
         return self.forward(*args, **kwargs)
 
     def parameters(self) -> Iterator[Tensor]:
@@ -77,7 +78,7 @@ class Module:
         return sum(p.size for p in self.parameters())
 
 
-def _modules_of(value) -> Iterator[Module]:
+def _modules_of(value: object) -> Iterator[Module]:
     if isinstance(value, Module):
         yield value
     elif isinstance(value, (list, tuple)):
@@ -85,7 +86,7 @@ def _modules_of(value) -> Iterator[Module]:
             yield from _modules_of(item)
 
 
-def _parameters_of(value, seen: set[int]) -> Iterator[Tensor]:
+def _parameters_of(value: object, seen: set[int]) -> Iterator[Tensor]:
     if isinstance(value, Tensor) and value.requires_grad:
         if id(value) not in seen:
             seen.add(id(value))
@@ -97,7 +98,8 @@ def _parameters_of(value, seen: set[int]) -> Iterator[Tensor]:
             yield from _parameters_of(item, seen)
 
 
-def _named_parameters_of(name: str, value, seen: set[int]) -> Iterator[tuple[str, Tensor]]:
+def _named_parameters_of(name: str, value: object,
+                         seen: set[int]) -> Iterator[tuple[str, Tensor]]:
     if isinstance(value, Tensor) and value.requires_grad:
         if id(value) not in seen:
             seen.add(id(value))

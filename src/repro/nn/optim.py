@@ -62,6 +62,8 @@ class SGD(Optimizer):
         if not 0.0 <= momentum < 1.0:
             raise ConfigurationError(f"momentum must be in [0, 1), got {momentum}")
         self.momentum = momentum
+        # zeros_like: velocity adopts each parameter's dtype, so a float32
+        # policy run keeps float32 optimizer state end-to-end.
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
@@ -88,6 +90,7 @@ class Adam(Optimizer):
         self.beta2 = beta2
         self.epsilon = epsilon
         self._step_count = 0
+        # zeros_like: moment buffers adopt each parameter's dtype (policy).
         self._first_moment = [np.zeros_like(p.data) for p in self.parameters]
         self._second_moment = [np.zeros_like(p.data) for p in self.parameters]
 

@@ -4,19 +4,114 @@ The paper's generator uses a two-layer LSTM and the discriminator a
 bidirectional LSTM, both with hidden size 512 and dropout 0.5 (Sec. 6).
 These implementations follow the standard gate equations (Hochreiter &
 Schmidhuber) with a forget-gate bias of 1 for stable early training.
+
+Sequence execution is dispatched through :data:`SEQUENCE_KERNELS`, the
+nn-side analogue of the radar stage registry: ``"naive"`` unrolls one
+:func:`~repro.nn.functional.lstm_cell` graph node per timestep (the pinned
+equivalence reference), ``"fused"`` runs the whole layer through the
+single-node :func:`~repro.nn.functional.lstm_sequence` BPTT op. The active
+backend comes from ``RF_PROTECT_NN_BACKEND`` (via
+:func:`repro.config.get_nn_backend`), can be pinned for a block with
+:func:`sequence_backend_scope`, or per call via the ``backend=`` argument.
+Each per-layer scan reports wall time into :mod:`repro.nn.metrics`.
 """
 
 from __future__ import annotations
+
+import contextlib
+import time
+from collections.abc import Callable, Iterator, Sequence
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.nn import init
-from repro.nn.functional import concat, dropout, lstm_cell, stack
+from repro.nn.functional import (
+    concat,
+    dropout,
+    flip_sequence,
+    lstm_cell,
+    lstm_sequence,
+    stack,
+)
 from repro.nn.layers import Module
-from repro.nn.tensor import Tensor
+from repro.nn.metrics import observe_op
+from repro.nn.tensor import Tensor, as_tensor
 
-__all__ = ["LSTM", "LSTMCell", "BiLSTM"]
+__all__ = [
+    "BiLSTM",
+    "LSTM",
+    "LSTMCell",
+    "SEQUENCE_KERNELS",
+    "active_sequence_backend",
+    "register_sequence_kernel",
+    "sequence_backend_scope",
+    "set_sequence_backend",
+]
+
+#: One LSTM layer over a stacked ``(T, B, D)`` tensor -> ``(T, B, H)``.
+SequenceKernel = Callable[["LSTMCell", Tensor, tuple[Tensor, Tensor]], Tensor]
+
+#: Registry of sequence-scan implementations, keyed by backend name. The
+#: single dispatch point for recurrent execution — code outside this module
+#: selects a backend by name, never by importing a kernel directly.
+SEQUENCE_KERNELS: dict[str, SequenceKernel] = {}
+
+
+def register_sequence_kernel(name: str) -> Callable[[SequenceKernel], SequenceKernel]:
+    """Register a sequence kernel under ``name`` (decorator)."""
+
+    def decorator(kernel: SequenceKernel) -> SequenceKernel:
+        if name in SEQUENCE_KERNELS:
+            raise ConfigurationError(f"sequence kernel {name!r} already registered")
+        SEQUENCE_KERNELS[name] = kernel
+        return kernel
+
+    return decorator
+
+
+_BACKEND_OVERRIDE: str | None = None
+
+
+def active_sequence_backend() -> str:
+    """The backend used when no per-call ``backend=`` is given.
+
+    Resolution order: :func:`set_sequence_backend` /
+    :func:`sequence_backend_scope` override first, then the
+    ``RF_PROTECT_NN_BACKEND`` environment knob.
+    """
+    if _BACKEND_OVERRIDE is not None:
+        return _BACKEND_OVERRIDE
+    from repro.config import get_nn_backend
+
+    return get_nn_backend()
+
+
+def set_sequence_backend(name: str | None) -> str | None:
+    """Set (or with ``None`` clear) the process-wide backend override.
+
+    Returns the previous override so callers can restore it; prefer
+    :func:`sequence_backend_scope` for anything block-shaped.
+    """
+    global _BACKEND_OVERRIDE
+    if name is not None and name not in SEQUENCE_KERNELS:
+        raise ConfigurationError(
+            f"unknown sequence backend {name!r}; "
+            f"registered: {sorted(SEQUENCE_KERNELS)}"
+        )
+    previous = _BACKEND_OVERRIDE
+    _BACKEND_OVERRIDE = name
+    return previous
+
+
+@contextlib.contextmanager
+def sequence_backend_scope(name: str) -> Iterator[str]:
+    """Pin the sequence backend within a ``with`` block."""
+    previous = set_sequence_backend(name)
+    try:
+        yield name
+    finally:
+        set_sequence_backend(previous)
 
 
 class LSTMCell(Module):
@@ -44,7 +139,7 @@ class LSTMCell(Module):
                        for _ in range(4)]),
             requires_grad=True,
         )
-        bias = np.zeros(gates)
+        bias = init.zeros((gates,))
         bias[hidden_size: 2 * hidden_size] = 1.0  # forget-gate bias
         self.bias = Tensor(bias, requires_grad=True)
 
@@ -71,9 +166,32 @@ class LSTMCell(Module):
         return h, c
 
     def initial_state(self, batch_size: int) -> tuple[Tensor, Tensor]:
-        """Zero ``(h, c)`` for a batch."""
-        zeros = np.zeros((batch_size, self.hidden_size))
-        return Tensor(zeros), Tensor(zeros.copy())
+        """Zero ``(h, c)`` for a batch, in the cell's parameter dtype."""
+        zeros = np.zeros((batch_size, self.hidden_size),
+                         dtype=self.weight_hh.data.dtype)
+        return (Tensor(zeros, dtype=zeros.dtype),
+                Tensor(zeros.copy(), dtype=zeros.dtype))
+
+
+@register_sequence_kernel("naive")
+def _naive_sequence(cell: LSTMCell, inputs: Tensor,
+                    state: tuple[Tensor, Tensor]) -> Tensor:
+    """Reference scan: one ``lstm_cell`` graph node per timestep."""
+    h, c = state
+    outputs: list[Tensor] = []
+    for t in range(inputs.shape[0]):
+        h, c = cell(inputs[t], (h, c))
+        outputs.append(h)
+    return stack(outputs, axis=0)
+
+
+@register_sequence_kernel("fused")
+def _fused_sequence(cell: LSTMCell, inputs: Tensor,
+                    state: tuple[Tensor, Tensor]) -> Tensor:
+    """Whole-layer scan as a single :func:`lstm_sequence` BPTT node."""
+    h0, c0 = state
+    return lstm_sequence(inputs, cell.weight_ih, cell.weight_hh, cell.bias,
+                         h0, c0)
 
 
 class LSTM(Module):
@@ -96,52 +214,84 @@ class LSTM(Module):
             for layer in range(num_layers)
         ]
 
-    def forward(self, inputs: list[Tensor],
-                initial_states: list[tuple[Tensor, Tensor]] | None = None
-                ) -> list[Tensor]:
-        """Run the stack over a sequence.
+    def _resolve_states(self, batch_size: int,
+                        initial_states: Sequence[tuple[Tensor, Tensor]] | None,
+                        ) -> list[tuple[Tensor, Tensor]]:
+        if initial_states is None:
+            return [cell.initial_state(batch_size) for cell in self.cells]
+        if len(initial_states) != self.num_layers:
+            raise ConfigurationError(
+                f"expected {self.num_layers} initial states, "
+                f"got {len(initial_states)}"
+            )
+        return list(initial_states)
+
+    def forward_sequence(self, inputs: Tensor,
+                         initial_states: Sequence[tuple[Tensor, Tensor]] | None = None,
+                         *, backend: str | None = None) -> Tensor:
+        """Run the stack over a stacked ``(T, B, D)`` sequence tensor.
+
+        This is the primary entry point: the whole scan stays in stacked
+        form, inter-layer dropout draws one ``(T, B, H)`` mask per layer
+        boundary (bit-identical to the historical per-timestep draws —
+        the RNG stream consumes identically), and each layer runs through
+        the selected :data:`SEQUENCE_KERNELS` entry.
 
         Args:
-            inputs: list of ``(B, D)`` tensors, one per timestep.
+            inputs: ``(T, B, D)`` tensor.
             initial_states: optional per-layer ``(h0, c0)``; zeros otherwise.
+            backend: kernel name; defaults to
+                :func:`active_sequence_backend`.
 
         Returns:
-            Top-layer hidden states, one ``(B, H)`` tensor per timestep.
+            Top-layer hidden states as one ``(T, B, H)`` tensor.
+        """
+        inputs = as_tensor(inputs)
+        if inputs.ndim != 3:
+            raise ConfigurationError(
+                f"forward_sequence needs (T, B, D) inputs, got {inputs.shape}"
+            )
+        if inputs.shape[0] < 1:
+            raise ConfigurationError("LSTM needs at least one timestep")
+        name = backend if backend is not None else active_sequence_backend()
+        kernel = SEQUENCE_KERNELS.get(name)
+        if kernel is None:
+            raise ConfigurationError(
+                f"unknown sequence backend {name!r}; "
+                f"registered: {sorted(SEQUENCE_KERNELS)}"
+            )
+        states = self._resolve_states(inputs.shape[1], initial_states)
+        sequence = inputs
+        for layer, cell in enumerate(self.cells):
+            started = time.perf_counter()
+            sequence = kernel(cell, sequence, states[layer])
+            observe_op("lstm_sequence", name, time.perf_counter() - started)
+            if layer < self.num_layers - 1 and self.dropout_probability > 0:
+                sequence = dropout(sequence, self.dropout_probability,
+                                   self._rng, training=self.training)
+        return sequence
+
+    def forward(self, inputs: list[Tensor],
+                initial_states: list[tuple[Tensor, Tensor]] | None = None,
+                *, backend: str | None = None) -> list[Tensor]:
+        """Run the stack over a per-timestep list of ``(B, D)`` tensors.
+
+        Compatibility wrapper over :meth:`forward_sequence`; returns
+        top-layer hidden states, one ``(B, H)`` tensor per timestep.
         """
         if not inputs:
             raise ConfigurationError("LSTM needs at least one timestep")
-        batch_size = inputs[0].shape[0]
-        if initial_states is None:
-            states = [cell.initial_state(batch_size) for cell in self.cells]
-        else:
-            if len(initial_states) != self.num_layers:
-                raise ConfigurationError(
-                    f"expected {self.num_layers} initial states, "
-                    f"got {len(initial_states)}"
-                )
-            states = list(initial_states)
-
-        sequence = inputs
-        for layer, cell in enumerate(self.cells):
-            h, c = states[layer]
-            outputs: list[Tensor] = []
-            for x in sequence:
-                h, c = cell(x, (h, c))
-                outputs.append(h)
-            if layer < self.num_layers - 1 and self.dropout_probability > 0:
-                outputs = [
-                    dropout(h_t, self.dropout_probability, self._rng,
-                            training=self.training)
-                    for h_t in outputs
-                ]
-            sequence = outputs
-        return sequence
+        stacked = self.forward_sequence(stack(inputs, axis=0), initial_states,
+                                        backend=backend)
+        return [stacked[t] for t in range(len(inputs))]
 
     def forward_stacked(self, inputs: list[Tensor],
                         initial_states: list[tuple[Tensor, Tensor]] | None = None
                         ) -> Tensor:
         """Like :meth:`forward` but stacked into one ``(T, B, H)`` tensor."""
-        return stack(self.forward(inputs, initial_states), axis=0)
+        if not inputs:
+            raise ConfigurationError("LSTM needs at least one timestep")
+        return self.forward_sequence(stack(inputs, axis=0), initial_states)
 
 
 class BiLSTM(Module):
@@ -157,20 +307,35 @@ class BiLSTM(Module):
                                   dropout_probability=dropout_probability)
         self.hidden_size = hidden_size
 
+    def forward_sequence(self, inputs: Tensor,
+                         *, backend: str | None = None) -> Tensor:
+        """Per-timestep ``(T, B, 2H)`` outputs (forward ++ backward)."""
+        inputs = as_tensor(inputs)
+        forward_out = self.forward_lstm.forward_sequence(inputs,
+                                                         backend=backend)
+        backward_out = flip_sequence(
+            self.backward_lstm.forward_sequence(flip_sequence(inputs),
+                                                backend=backend)
+        )
+        return concat([forward_out, backward_out], axis=2)
+
     def forward(self, inputs: list[Tensor]) -> list[Tensor]:
         """Per-timestep ``(B, 2H)`` outputs (forward ++ backward)."""
-        forward_out = self.forward_lstm(inputs)
-        backward_out = self.backward_lstm(list(reversed(inputs)))
-        backward_out = list(reversed(backward_out))
-        return [concat([f, b], axis=1)
-                for f, b in zip(forward_out, backward_out)]
+        stacked = self.forward_sequence(stack(inputs, axis=0))
+        return [stacked[t] for t in range(len(inputs))]
 
-    def final_summary(self, inputs: list[Tensor]) -> Tensor:
+    def final_summary(self, inputs: list[Tensor] | Tensor) -> Tensor:
         """Sequence summary: last forward state ++ first backward state.
 
         This is the standard BiLSTM readout for whole-sequence
         classification — each direction's state after reading everything.
+        Accepts either the per-timestep list form or a stacked
+        ``(T, B, D)`` tensor.
         """
-        forward_out = self.forward_lstm(inputs)
-        backward_out = self.backward_lstm(list(reversed(inputs)))
+        stacked = (inputs if isinstance(inputs, Tensor)
+                   else stack(inputs, axis=0))
+        forward_out = self.forward_lstm.forward_sequence(stacked)
+        backward_out = self.backward_lstm.forward_sequence(
+            flip_sequence(stacked)
+        )
         return concat([forward_out[-1], backward_out[-1]], axis=1)

@@ -18,7 +18,7 @@ from repro.nn.layers import Module
 __all__ = ["save_state", "load_state"]
 
 
-def save_state(module: Module, path: str | os.PathLike) -> None:
+def save_state(module: Module, path: str | os.PathLike[str]) -> None:
     """Write all named parameters of ``module`` to ``path`` (npz)."""
     state = {name: tensor.data for name, tensor in module.named_parameters()}
     if not state:
@@ -26,7 +26,7 @@ def save_state(module: Module, path: str | os.PathLike) -> None:
     np.savez(path, **state)
 
 
-def load_state(module: Module, path: str | os.PathLike) -> None:
+def load_state(module: Module, path: str | os.PathLike[str]) -> None:
     """Load parameters saved by :func:`save_state` into ``module``.
 
     Raises :class:`ConfigurationError` on any missing, extra, or
@@ -49,4 +49,7 @@ def load_state(module: Module, path: str | os.PathLike) -> None:
                 f"shape mismatch for {name}: file has {saved[name].shape}, "
                 f"module has {tensor.data.shape}"
             )
-        tensor.data = saved[name].astype(np.float64)
+        # Cast into the parameter's dtype: archives written under one dtype
+        # policy load cleanly into a module built under another, and a
+        # float32 module is never silently re-widened to float64.
+        tensor.data = saved[name].astype(tensor.data.dtype)

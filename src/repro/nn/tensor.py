@@ -7,20 +7,114 @@ tensor created with ``requires_grad=True``. Arithmetic supports full numpy
 broadcasting; gradients of broadcast operands are summed back to the
 operand's shape.
 
+Dtype policy
+------------
+
+Leaf tensors are created in the engine's *default dtype* — ``float64``
+unless overridden by ``RF_PROTECT_NN_DTYPE`` (read once, lazily, through
+:mod:`repro.config`), :func:`set_default_dtype`, or a :func:`dtype_scope`
+block. Graph nodes keep whatever dtype numpy computed for them, so a
+float32 model stays float32 end-to-end (gradients included: every gradient
+buffer is allocated with ``zeros_like`` against the tensor it belongs to).
+An explicit ``Tensor(data, dtype=...)`` always wins over the policy.
+
 Element-wise and matrix arithmetic live here as methods; structural and
-neural-network operations (concat, stack, embedding, dropout, losses) live
-in :mod:`repro.nn.functional`.
+neural-network operations (concat, stack, embedding, dropout, the fused
+LSTM sequence scan, losses) live in :mod:`repro.nn.functional`.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable, Sequence
+import contextlib
+from collections.abc import Callable, Iterator, Sequence
+from typing import Any, Union
 
 import numpy as np
 
 from repro.errors import GradientError
 
-__all__ = ["Tensor", "as_tensor", "unbroadcast"]
+__all__ = [
+    "DTypeLike",
+    "Tensor",
+    "TensorLike",
+    "as_tensor",
+    "default_dtype",
+    "dtype_scope",
+    "resolve_dtype",
+    "set_default_dtype",
+    "unbroadcast",
+]
+
+#: Anything the arithmetic methods coerce into a (leaf) tensor.
+TensorLike = Union["Tensor", np.ndarray, float, int, Sequence[Any]]
+
+#: Anything :func:`resolve_dtype` accepts as a dtype spec.
+DTypeLike = Union[str, type, np.dtype]
+
+#: Dtypes the policy accepts — the engine is real-valued by design.
+_SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+_default_dtype: np.dtype | None = None  # resolved lazily from repro.config
+
+
+def resolve_dtype(dtype: DTypeLike | None) -> np.dtype:
+    """Normalize a dtype spec to a supported float dtype.
+
+    ``None`` means "the active policy dtype" (:func:`default_dtype`).
+    """
+    if dtype is None:
+        return default_dtype()
+    try:
+        resolved = np.dtype(dtype)
+    except TypeError as error:
+        raise GradientError(f"invalid dtype {dtype!r}: {error}") from error
+    if resolved not in _SUPPORTED_DTYPES:
+        raise GradientError(
+            f"autograd dtype must be float32 or float64, got {resolved}"
+        )
+    return resolved
+
+
+def default_dtype() -> np.dtype:
+    """The active leaf/parameter dtype (``RF_PROTECT_NN_DTYPE`` default)."""
+    global _default_dtype
+    if _default_dtype is None:
+        from repro.config import get_nn_dtype
+        _default_dtype = resolve_dtype(get_nn_dtype())
+    return _default_dtype
+
+
+def set_default_dtype(dtype: str | type | np.dtype) -> np.dtype:
+    """Set the active default dtype; returns the previous one."""
+    global _default_dtype
+    previous = default_dtype()
+    _default_dtype = resolve_dtype(dtype)
+    return previous
+
+
+@contextlib.contextmanager
+def dtype_scope(dtype: str | type | np.dtype) -> Iterator[np.dtype]:
+    """Run a block under a different default dtype, then restore."""
+    previous = set_default_dtype(dtype)
+    try:
+        yield default_dtype()
+    finally:
+        set_default_dtype(previous)
+
+
+def _is_basic_index(key: Any) -> bool:
+    """True if ``key`` is numpy basic indexing (no arrays, no bool masks).
+
+    Basic indexing selects each source element at most once, so gradient
+    scatter can use plain ``+=``; advanced indexing may select an element
+    repeatedly and needs ``np.add.at``.
+    """
+    parts = key if isinstance(key, tuple) else (key,)
+    return all(
+        part is None or part is Ellipsis
+        or isinstance(part, (int, np.integer, slice))
+        for part in parts
+    )
 
 
 def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -43,9 +137,16 @@ class Tensor:
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_op")
 
-    def __init__(self, data, *, requires_grad: bool = False,
+    def __init__(self, data: TensorLike, *, requires_grad: bool = False,
+                 dtype: str | type | np.dtype | None = None,
                  _parents: tuple["Tensor", ...] = (), _op: str = "leaf") -> None:
-        self.data = np.asarray(data, dtype=np.float64)
+        if dtype is not None:
+            self.data = np.asarray(data, dtype=resolve_dtype(dtype))
+        elif _parents:
+            # Graph nodes keep the dtype numpy computed for them.
+            self.data = np.asarray(data)
+        else:
+            self.data = np.asarray(data, dtype=default_dtype())
         self.requires_grad = bool(requires_grad)
         self.grad: np.ndarray | None = None
         self._backward: Callable[[], None] = lambda: None
@@ -68,6 +169,10 @@ class Tensor:
     def size(self) -> int:
         return self.data.size
 
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
     def __repr__(self) -> str:
         flag = ", requires_grad=True" if self.requires_grad else ""
         return f"Tensor(shape={self.shape}, op={self._op!r}{flag})"
@@ -84,7 +189,21 @@ class Tensor:
 
     def detach(self) -> "Tensor":
         """A view of the same data cut off from the graph."""
-        return Tensor(self.data, requires_grad=False)
+        return Tensor(self.data, requires_grad=False, dtype=self.data.dtype)
+
+    def astype(self, dtype: str | type | np.dtype) -> "Tensor":
+        """A differentiable cast; the gradient is cast back on the way down."""
+        target = resolve_dtype(dtype)
+        out = Tensor._result(self.data.astype(target, copy=False), (self,),
+                             "astype")
+
+        def backward() -> None:
+            if out.grad is None:
+                return
+            self._accumulate(out.grad.astype(self.data.dtype, copy=False))
+
+        out._backward = backward
+        return out
 
     # ------------------------------------------------------------------
     # Graph mechanics
@@ -102,6 +221,25 @@ class Tensor:
         if self.grad is None:
             self.grad = np.zeros_like(self.data)
         self.grad += grad
+
+    def _accumulate_at(self, key: Any, grad: np.ndarray) -> None:
+        """Accumulate a gradient into the subregion selected by ``key``.
+
+        Writing into ``self.grad`` directly (instead of building a
+        full-size scatter buffer and adding it) keeps per-timestep slicing
+        of long sequences O(slice) rather than O(sequence) per step.
+        Basic-index keys (ints/slices) select disjoint elements, so plain
+        ``+=`` is exact; advanced indexing may repeat elements and goes
+        through ``np.add.at``.
+        """
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        if _is_basic_index(key):
+            self.grad[key] += grad
+        else:
+            np.add.at(self.grad, key, grad)
 
     def zero_grad(self) -> None:
         """Reset this tensor's accumulated gradient."""
@@ -122,7 +260,7 @@ class Tensor:
                 )
             gradient = np.ones_like(self.data)
         else:
-            gradient = np.asarray(gradient, dtype=np.float64)
+            gradient = np.asarray(gradient, dtype=self.data.dtype)
             if gradient.shape != self.shape:
                 raise GradientError(
                     f"seed gradient shape {gradient.shape} != tensor shape {self.shape}"
@@ -157,8 +295,8 @@ class Tensor:
     # Element-wise arithmetic
     # ------------------------------------------------------------------
 
-    def __add__(self, other) -> "Tensor":
-        other = as_tensor(other)
+    def __add__(self, other: TensorLike) -> "Tensor":
+        other = as_tensor(other, like=self)
         out = Tensor._result(self.data + other.data, (self, other), "add")
 
         def backward() -> None:
@@ -172,8 +310,8 @@ class Tensor:
 
     __radd__ = __add__
 
-    def __mul__(self, other) -> "Tensor":
-        other = as_tensor(other)
+    def __mul__(self, other: TensorLike) -> "Tensor":
+        other = as_tensor(other, like=self)
         out = Tensor._result(self.data * other.data, (self, other), "mul")
 
         def backward() -> None:
@@ -190,18 +328,18 @@ class Tensor:
     def __neg__(self) -> "Tensor":
         return self * -1.0
 
-    def __sub__(self, other) -> "Tensor":
-        return self + (-as_tensor(other))
+    def __sub__(self, other: TensorLike) -> "Tensor":
+        return self + (-as_tensor(other, like=self))
 
-    def __rsub__(self, other) -> "Tensor":
-        return as_tensor(other) + (-self)
+    def __rsub__(self, other: TensorLike) -> "Tensor":
+        return as_tensor(other, like=self) + (-self)
 
-    def __truediv__(self, other) -> "Tensor":
-        other = as_tensor(other)
+    def __truediv__(self, other: TensorLike) -> "Tensor":
+        other = as_tensor(other, like=self)
         return self * other.pow(-1.0)
 
-    def __rtruediv__(self, other) -> "Tensor":
-        return as_tensor(other) * self.pow(-1.0)
+    def __rtruediv__(self, other: TensorLike) -> "Tensor":
+        return as_tensor(other, like=self) * self.pow(-1.0)
 
     def pow(self, exponent: float) -> "Tensor":
         """Element-wise power with a constant exponent."""
@@ -333,7 +471,7 @@ class Tensor:
             count = self.shape[axis]
         return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
 
-    def reshape(self, *shape: int) -> "Tensor":
+    def reshape(self, *shape: int | tuple[int, ...]) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
         out = Tensor._result(self.data.reshape(shape), (self,), "reshape")
@@ -361,15 +499,13 @@ class Tensor:
         out._backward = backward
         return out
 
-    def __getitem__(self, key) -> "Tensor":
+    def __getitem__(self, key: Any) -> "Tensor":
         out = Tensor._result(self.data[key], (self,), "slice")
 
         def backward() -> None:
             if out.grad is None:
                 return
-            grad = np.zeros_like(self.data)
-            np.add.at(grad, key, out.grad)
-            self._accumulate(grad)
+            self._accumulate_at(key, out.grad)
 
         out._backward = backward
         return out
@@ -378,7 +514,7 @@ class Tensor:
     # Linear algebra
     # ------------------------------------------------------------------
 
-    def matmul(self, other: "Tensor") -> "Tensor":
+    def matmul(self, other: TensorLike) -> "Tensor":
         other = as_tensor(other)
         if self.ndim < 1 or other.ndim < 1:
             raise GradientError("matmul operands must have at least 1 dimension")
@@ -413,12 +549,20 @@ class Tensor:
         out._backward = backward
         return out
 
-    def __matmul__(self, other) -> "Tensor":
+    def __matmul__(self, other: TensorLike) -> "Tensor":
         return self.matmul(other)
 
 
-def as_tensor(value) -> Tensor:
-    """Coerce a value into a (non-differentiable, if new) tensor."""
+def as_tensor(value: TensorLike, *, like: Tensor | None = None) -> Tensor:
+    """Coerce a value into a (non-differentiable, if new) tensor.
+
+    Python scalars adopt ``like``'s dtype when given, so expressions such
+    as ``x * 0.5`` or ``x.mean()`` never widen a float32 graph to the
+    (possibly wider) default policy dtype. Arrays and sequences follow the
+    policy as usual.
+    """
     if isinstance(value, Tensor):
         return value
+    if like is not None and isinstance(value, (int, float)):
+        return Tensor(value, dtype=like.data.dtype)
     return Tensor(value)

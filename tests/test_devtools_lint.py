@@ -152,11 +152,13 @@ class TestSuppression:
 
 
 class TestScoping:
-    def test_rfp004_scoped_to_radar_and_signal(self):
+    def test_rfp004_scoped_to_numeric_packages(self):
         text = (FIXTURES / "rfp004_bad.py").read_text(encoding="utf-8")
         assert lint_source(text, "src/repro/radar/module.py")
         assert lint_source(text, "src/repro/signal/module.py")
-        assert lint_source(text, "src/repro/gan/module.py") == []
+        assert lint_source(text, "src/repro/nn/module.py")
+        assert lint_source(text, "src/repro/gan/module.py")
+        assert lint_source(text, "src/repro/trajectories/module.py") == []
 
     def test_rfp003_exempts_the_registry_module(self):
         text = (

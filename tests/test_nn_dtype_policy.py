@@ -1,0 +1,209 @@
+"""Unit tests for the float32/float64 dtype policy in ``repro.nn``.
+
+The policy contract: leaf tensors adopt the active default dtype, graph
+nodes keep whatever dtype numpy computed, explicit ``dtype=`` always wins,
+and python scalars in arithmetic adopt the partner tensor's dtype so a
+float32 graph is never silently widened by ``x * 2.0``. Initializers,
+optimizers, serialization, and the GAN trainer must all follow the policy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GradientError
+from repro.nn import (
+    Adam,
+    BiLSTM,
+    LSTM,
+    SGD,
+    Tensor,
+    default_dtype,
+    dtype_scope,
+    load_state,
+    save_state,
+    set_default_dtype,
+)
+from repro.nn import init
+from repro.nn.layers import Linear
+from repro.nn.tensor import as_tensor, resolve_dtype
+
+
+class TestPolicyMachinery:
+    def test_default_is_float64(self):
+        assert default_dtype() == np.float64
+
+    def test_dtype_scope_restores_previous(self):
+        before = default_dtype()
+        with dtype_scope("float32") as active:
+            assert active == np.float32
+            assert default_dtype() == np.float32
+        assert default_dtype() == before
+
+    def test_set_default_dtype_returns_previous(self):
+        previous = set_default_dtype("float32")
+        try:
+            assert previous == np.float64
+            assert default_dtype() == np.float32
+        finally:
+            set_default_dtype(previous)
+
+    def test_resolve_rejects_unsupported_dtypes(self):
+        for bad in ("float16", "int64", "complex128"):
+            with pytest.raises(GradientError):
+                resolve_dtype(bad)
+
+    def test_resolve_none_is_the_policy(self):
+        with dtype_scope("float32"):
+            assert resolve_dtype(None) == np.float32
+
+
+class TestTensorDtype:
+    def test_leaves_follow_policy(self):
+        with dtype_scope("float32"):
+            assert Tensor([1.0, 2.0]).dtype == np.float32
+        assert Tensor([1.0, 2.0]).dtype == np.float64
+
+    def test_explicit_dtype_wins_over_policy(self):
+        with dtype_scope("float32"):
+            assert Tensor([1.0], dtype="float64").dtype == np.float64
+        assert Tensor([1.0], dtype=np.float32).dtype == np.float32
+
+    def test_scalar_arithmetic_preserves_float32(self):
+        x = Tensor(np.ones(3, dtype=np.float32), dtype="float32")
+        for result in (x * 2.0, x + 1.0, 1.0 - x, x / 2.0, 2.0 / x,
+                       x.mean(), x.sum()):
+            assert result.dtype == np.float32, result._op
+
+    def test_as_tensor_scalar_adopts_partner_dtype(self):
+        like = Tensor(np.zeros(2, dtype=np.float32), dtype="float32")
+        assert as_tensor(3.0, like=like).dtype == np.float32
+        assert as_tensor(3.0).dtype == default_dtype()
+
+    def test_backward_seed_matches_tensor_dtype(self):
+        x = Tensor(np.ones(3, dtype=np.float32), dtype="float32",
+                   requires_grad=True)
+        x.sum().backward()
+        assert x.grad is not None
+        assert x.grad.dtype == np.float32
+
+    def test_astype_is_differentiable_and_casts_gradient_back(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = x.astype("float32")
+        assert y.dtype == np.float32
+        y.sum().backward()
+        assert x.grad is not None
+        assert x.grad.dtype == np.float64
+
+    def test_detach_preserves_dtype(self):
+        x = Tensor(np.ones(3, dtype=np.float32), dtype="float32")
+        assert x.detach().dtype == np.float32
+
+
+class TestInitializers:
+    def test_initializers_follow_policy(self):
+        rng = np.random.default_rng(0)
+        with dtype_scope("float32"):
+            assert init.xavier_uniform((3, 4), rng).dtype == np.float32
+            assert init.uniform((3,), rng).dtype == np.float32
+            assert init.zeros((3,)).dtype == np.float32
+            assert init.orthogonal((3, 3), rng).dtype == np.float32
+
+    def test_explicit_dtype_overrides_policy(self):
+        rng = np.random.default_rng(0)
+        with dtype_scope("float32"):
+            assert init.zeros((2,), dtype="float64").dtype == np.float64
+            assert init.xavier_uniform((2, 2), rng,
+                                       dtype="float64").dtype == np.float64
+
+    def test_float32_draw_is_cast_of_float64_draw(self):
+        """Same RNG stream: float32 weights == float64 weights cast down."""
+        w64 = init.xavier_uniform((4, 5), np.random.default_rng(7),
+                                  dtype="float64")
+        w32 = init.xavier_uniform((4, 5), np.random.default_rng(7),
+                                  dtype="float32")
+        np.testing.assert_array_equal(w32, w64.astype(np.float32))
+
+
+class TestOptimizers:
+    def _param(self):
+        p = Tensor(np.ones(3, dtype=np.float32), dtype="float32",
+                   requires_grad=True)
+        p.grad = np.ones(3, dtype=np.float32)
+        return p
+
+    def test_sgd_state_and_update_stay_float32(self):
+        p = self._param()
+        opt = SGD([p], learning_rate=0.1, momentum=0.9)
+        opt.step()
+        assert opt._velocity[0].dtype == np.float32
+        assert p.data.dtype == np.float32
+
+    def test_adam_state_and_update_stay_float32(self):
+        p = self._param()
+        opt = Adam([p], learning_rate=0.1)
+        opt.step()
+        assert opt._first_moment[0].dtype == np.float32
+        assert opt._second_moment[0].dtype == np.float32
+        assert p.data.dtype == np.float32
+
+    def test_clip_gradients_preserves_dtype(self):
+        p = self._param()
+        p.grad *= 100.0
+        Adam([p], learning_rate=0.1).clip_gradients(1.0)
+        assert p.grad.dtype == np.float32
+
+
+class TestModulesAndSerialization:
+    def test_linear_and_lstm_parameters_follow_policy(self):
+        with dtype_scope("float32"):
+            linear = Linear(3, 4, np.random.default_rng(0))
+            lstm = LSTM(3, 4, np.random.default_rng(1), num_layers=2)
+            bilstm = BiLSTM(3, 4, np.random.default_rng(2))
+        for module in (linear, lstm, bilstm):
+            for p in module.parameters():
+                assert p.data.dtype == np.float32
+
+    def test_bilstm_zero_state_follows_parameter_dtype(self):
+        with dtype_scope("float32"):
+            bilstm = BiLSTM(3, 4, np.random.default_rng(0))
+        for lstm in (bilstm.forward_lstm, bilstm.backward_lstm):
+            h, c = lstm.cells[0].initial_state(2)
+            assert h.dtype == np.float32
+            assert c.dtype == np.float32
+
+    def test_load_state_casts_into_module_dtype(self, tmp_path):
+        linear64 = Linear(3, 4, np.random.default_rng(0))
+        path = tmp_path / "weights.npz"
+        save_state(linear64, path)
+        with dtype_scope("float32"):
+            linear32 = Linear(3, 4, np.random.default_rng(5))
+        load_state(linear32, path)
+        assert linear32.weight.data.dtype == np.float32
+        np.testing.assert_array_equal(
+            linear32.weight.data,
+            linear64.weight.data.astype(np.float32),
+        )
+
+
+class TestGanDtype:
+    def test_trainer_runs_float32_without_widening(self):
+        from repro.gan.trainer import GanConfig, GanTrainer
+        from repro.trajectories import HumanMotionSimulator
+
+        dataset = HumanMotionSimulator(
+            rng=np.random.default_rng(3), num_points=16
+        ).build_dataset(24)
+        config = GanConfig(noise_dim=4, hidden_size=6, embed_dim=3,
+                           feature_dim=5, batch_size=8, epochs=1,
+                           dropout_probability=0.0, seed=1)
+        with dtype_scope("float32"):
+            trainer = GanTrainer(dataset, config)
+            assert trainer.generator.class_gain.data.dtype == np.float32
+            history = trainer.train(epochs=1)
+        assert history.discriminator_losses
+        for module in (trainer.generator, trainer.discriminator):
+            for p in module.parameters():
+                assert p.data.dtype == np.float32
+        assert all(np.isfinite(history.generator_losses))
