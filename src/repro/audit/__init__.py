@@ -1,0 +1,73 @@
+"""Verifiable privacy evidence: ledger, signatures, SLOs, reports.
+
+The paper's claim is *measurable* privacy; this package turns the repo's
+privacy metrics into tamper-evident evidence. Four pieces:
+
+- :mod:`repro.audit.ledger` — an append-only, sha256-hash-chained JSONL
+  artifact log for experiment runs, serve metrics snapshots, and
+  benchmark timings (canonical JSON per :mod:`repro.audit.canonical`).
+- :mod:`repro.audit.ed25519` — a from-scratch RFC 8032 Ed25519
+  implementation (pure :mod:`hashlib` + big-int Python) signing chain
+  heads and reports.
+- :mod:`repro.audit.slo` — a declarative rules engine evaluating privacy
+  SLO profiles (mutual-information, detection-rate, count-accuracy,
+  breath-selection bounds) by re-running :mod:`repro.privacy` metrics and
+  reading ledger records.
+- :mod:`repro.audit.report` — JSON + HTML audit reports with chain,
+  signature, and provenance status.
+
+Driven end-to-end by ``rfprotect audit`` (:mod:`repro.audit.app`).
+"""
+
+from repro.audit.canonical import canonical_bytes, canonical_json, digest
+from repro.audit.ledger import (
+    GENESIS_HASH,
+    ChainVerification,
+    Ledger,
+    LedgerRecord,
+    sign_ledger,
+    verify_chain,
+    verify_signature,
+)
+from repro.audit.provenance import config_snapshot, provenance
+from repro.audit.report import (
+    build_report,
+    render_html,
+    sign_report,
+    verify_report,
+)
+from repro.audit.slo import (
+    DEFAULT_PROFILE,
+    RuleOutcome,
+    SloEvaluation,
+    SloProfile,
+    SloRule,
+    evaluate_profile,
+    load_profile,
+)
+
+__all__ = [
+    "ChainVerification",
+    "DEFAULT_PROFILE",
+    "GENESIS_HASH",
+    "Ledger",
+    "LedgerRecord",
+    "RuleOutcome",
+    "SloEvaluation",
+    "SloProfile",
+    "SloRule",
+    "build_report",
+    "canonical_bytes",
+    "canonical_json",
+    "config_snapshot",
+    "digest",
+    "evaluate_profile",
+    "load_profile",
+    "provenance",
+    "render_html",
+    "sign_ledger",
+    "sign_report",
+    "verify_chain",
+    "verify_report",
+    "verify_signature",
+]

@@ -1,0 +1,51 @@
+"""Canonical JSON serialization: one byte stream per value, forever.
+
+Every hash and every signature in :mod:`repro.audit` is computed over the
+output of :func:`canonical_bytes`, so two processes serializing the same
+value must produce the same bytes. The rules (enforced here and by the
+rflint rule **RFP015** for any stray ``json.dumps`` in this package):
+
+- keys sorted (``sort_keys=True``) at every nesting level,
+- compact separators (``","`` / ``":"``) — no whitespace,
+- ASCII-only escapes (``ensure_ascii=True``),
+- ``NaN``/``Infinity`` rejected (``allow_nan=False``) — they are not JSON
+  and no two parsers agree on them,
+- only JSON-native types: passing a value :mod:`json` cannot encode is an
+  :class:`~repro.errors.AuditError`, never a silent ``repr`` fallback.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from repro.errors import AuditError
+
+__all__ = ["canonical_bytes", "canonical_json", "digest", "sha256_hex"]
+
+
+def canonical_json(value: Any) -> str:
+    """The canonical JSON text for ``value`` (sorted keys, compact)."""
+    try:
+        return json.dumps(value, sort_keys=True, separators=(",", ":"),
+                          ensure_ascii=True, allow_nan=False)
+    except (TypeError, ValueError) as error:
+        raise AuditError(
+            f"value is not canonically serializable: {error}"
+        ) from error
+
+
+def canonical_bytes(value: Any) -> bytes:
+    """The canonical UTF-8 byte stream hashes and signatures run over."""
+    return canonical_json(value).encode("utf-8")
+
+
+def sha256_hex(data: bytes) -> str:
+    """Lowercase hex sha256 of raw bytes."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def digest(value: Any) -> str:
+    """sha256 over the canonical serialization of ``value``."""
+    return sha256_hex(canonical_bytes(value))

@@ -1,0 +1,197 @@
+"""Pure-python Ed25519 (RFC 8032 §5.1), pinned by the RFC test vectors.
+
+The audit trail must be verifiable on any machine with a Python
+interpreter — no ``cryptography``/``pynacl`` wheel, no OpenSSL version
+skew — so this is the reference construction from RFC 8032 written
+against :mod:`hashlib` only: twisted-Edwards point arithmetic in extended
+homogeneous coordinates over GF(2^255 - 19), SHA-512 as the internal
+hash, deterministic signatures (no RNG anywhere, matching the repo's
+determinism discipline — key *seeds* are caller-supplied bytes).
+
+This is an audit-integrity primitive, not a general-purpose crypto
+library: arithmetic is big-int Python (not constant-time), which is the
+standard trade-off for verification tooling where the threat model is
+tampered artifacts, not timing side channels on the signer.
+
+Sizes are RFC-fixed: 32-byte seed, 32-byte public key, 64-byte signature.
+``tests/test_audit_ed25519.py`` pins the RFC 8032 §7.1 test vectors
+(TEST 1-3 and TEST SHA(abc)).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.errors import SignatureError
+
+__all__ = [
+    "PUBLIC_KEY_SIZE",
+    "SEED_SIZE",
+    "SIGNATURE_SIZE",
+    "public_key",
+    "sign",
+    "verify",
+]
+
+SEED_SIZE = 32
+PUBLIC_KEY_SIZE = 32
+SIGNATURE_SIZE = 64
+
+#: Field prime p = 2^255 - 19.
+_P = 2**255 - 19
+#: Group order L = 2^252 + 27742317777372353535851937790883648493.
+_L = 2**252 + 27742317777372353535851937790883648493
+#: Curve constant d = -121665 / 121666 mod p.
+_D = (-121665 * pow(121666, _P - 2, _P)) % _P
+#: sqrt(-1) mod p, used when recovering x from y.
+_SQRT_M1 = pow(2, (_P - 1) // 4, _P)
+
+_Point = tuple[int, int, int, int]  # extended homogeneous (X, Y, Z, T)
+
+#: Neutral element (0, 1).
+_IDENTITY: _Point = (0, 1, 1, 0)
+
+
+def _sha512(data: bytes) -> bytes:
+    return hashlib.sha512(data).digest()
+
+
+def _sha512_mod_l(data: bytes) -> int:
+    return int.from_bytes(_sha512(data), "little") % _L
+
+
+def _point_add(p: _Point, q: _Point) -> _Point:
+    # RFC 8032 §5.1.4 addition formulas (complete, unified).
+    x1, y1, z1, t1 = p
+    x2, y2, z2, t2 = q
+    a = (y1 - x1) * (y2 - x2) % _P
+    b = (y1 + x1) * (y2 + x2) % _P
+    c = 2 * t1 * t2 * _D % _P
+    d = 2 * z1 * z2 % _P
+    e, f, g, h = b - a, d - c, d + c, b + a
+    return (e * f % _P, g * h % _P, f * g % _P, e * h % _P)
+
+
+def _point_mul(scalar: int, point: _Point) -> _Point:
+    result = _IDENTITY
+    while scalar > 0:
+        if scalar & 1:
+            result = _point_add(result, point)
+        point = _point_add(point, point)
+        scalar >>= 1
+    return result
+
+
+def _point_equal(p: _Point, q: _Point) -> bool:
+    # Projective equality: X1/Z1 == X2/Z2 and Y1/Z1 == Y2/Z2.
+    x1, y1, z1, _ = p
+    x2, y2, z2, _ = q
+    return (x1 * z2 - x2 * z1) % _P == 0 and (y1 * z2 - y2 * z1) % _P == 0
+
+
+def _recover_x(y: int, sign: int) -> int:
+    """x with x^2 = (y^2 - 1) / (d y^2 + 1), of the requested sign."""
+    if y >= _P:
+        raise SignatureError("point y-coordinate out of range")
+    x2 = (y * y - 1) * pow(_D * y * y + 1, _P - 2, _P) % _P
+    if x2 == 0:
+        if sign:
+            raise SignatureError("invalid point encoding (x = 0 with sign)")
+        return 0
+    x = pow(x2, (_P + 3) // 8, _P)
+    if (x * x - x2) % _P != 0:
+        x = x * _SQRT_M1 % _P
+    if (x * x - x2) % _P != 0:
+        raise SignatureError("point is not on the curve")
+    if x & 1 != sign:
+        x = _P - x
+    return x
+
+
+#: Base point B: unique point with y = 4/5 and positive x.
+_B_Y = 4 * pow(5, _P - 2, _P) % _P
+_B_X = _recover_x(_B_Y, 0)
+_BASE: _Point = (_B_X, _B_Y, 1, _B_X * _B_Y % _P)
+
+
+def _point_compress(point: _Point) -> bytes:
+    x, y, z, _ = point
+    z_inv = pow(z, _P - 2, _P)
+    x, y = x * z_inv % _P, y * z_inv % _P
+    return ((y | ((x & 1) << 255)).to_bytes(32, "little"))
+
+
+def _point_decompress(encoded: bytes) -> _Point:
+    if len(encoded) != 32:
+        raise SignatureError(
+            f"compressed point must be 32 bytes, got {len(encoded)}"
+        )
+    raw = int.from_bytes(encoded, "little")
+    sign = raw >> 255
+    y = raw & ((1 << 255) - 1)
+    x = _recover_x(y, sign)
+    return (x, y, 1, x * y % _P)
+
+
+def _secret_expand(seed: bytes) -> tuple[int, bytes]:
+    """RFC 8032 §5.1.5: seed -> (clamped scalar a, 32-byte prefix)."""
+    if len(seed) != SEED_SIZE:
+        raise SignatureError(
+            f"seed must be {SEED_SIZE} bytes, got {len(seed)}"
+        )
+    digest = _sha512(seed)
+    scalar = int.from_bytes(digest[:32], "little")
+    scalar &= (1 << 254) - 8
+    scalar |= 1 << 254
+    return scalar, digest[32:]
+
+
+def public_key(seed: bytes) -> bytes:
+    """The 32-byte public key for a 32-byte private seed."""
+    scalar, _ = _secret_expand(seed)
+    return _point_compress(_point_mul(scalar, _BASE))
+
+
+def sign(seed: bytes, message: bytes) -> bytes:
+    """The 64-byte RFC 8032 signature of ``message`` under ``seed``.
+
+    Deterministic: the nonce is ``SHA-512(prefix || message)`` per the
+    RFC, so signing the same message twice yields identical bytes.
+    """
+    scalar, prefix = _secret_expand(seed)
+    a_compressed = _point_compress(_point_mul(scalar, _BASE))
+    r = _sha512_mod_l(prefix + message)
+    r_compressed = _point_compress(_point_mul(r, _BASE))
+    k = _sha512_mod_l(r_compressed + a_compressed + message)
+    s = (r + k * scalar) % _L
+    return r_compressed + s.to_bytes(32, "little")
+
+
+def verify(public: bytes, message: bytes, signature: bytes) -> bool:
+    """Whether ``signature`` is a valid signature of ``message``.
+
+    Returns ``False`` for any cryptographic mismatch; raises
+    :class:`~repro.errors.SignatureError` only for structurally invalid
+    inputs (wrong key/signature sizes).
+    """
+    if len(public) != PUBLIC_KEY_SIZE:
+        raise SignatureError(
+            f"public key must be {PUBLIC_KEY_SIZE} bytes, got {len(public)}"
+        )
+    if len(signature) != SIGNATURE_SIZE:
+        raise SignatureError(
+            f"signature must be {SIGNATURE_SIZE} bytes, got {len(signature)}"
+        )
+    try:
+        a_point = _point_decompress(public)
+        r_point = _point_decompress(signature[:32])
+    except SignatureError:
+        return False
+    s = int.from_bytes(signature[32:], "little")
+    if s >= _L:
+        return False
+    k = _sha512_mod_l(signature[:32] + public + message)
+    return _point_equal(
+        _point_mul(s, _BASE),
+        _point_add(r_point, _point_mul(k, a_point)),
+    )

@@ -1,0 +1,216 @@
+"""Audit report generation: one JSON document, one HTML rendering.
+
+The JSON report is the machine-checkable artifact: chain-verification
+status, ledger signature status, per-rule SLO outcomes, and provenance
+(package version, resolved config knobs, profile hash). When a signing
+seed is supplied the report is wrapped in a signed envelope — the
+Ed25519 signature covers the canonical serialization of the report body,
+so ``rfprotect audit verify report.json`` re-checks it offline.
+
+The HTML rendering is a human view of the same dict: no scripts, no
+external assets, no clock reads — rendering the same report twice yields
+byte-identical HTML.
+"""
+
+from __future__ import annotations
+
+import html
+from collections import Counter
+from typing import Any
+
+from repro.audit import ed25519
+from repro.audit.canonical import canonical_bytes, digest
+from repro.audit.ledger import ChainVerification, Ledger, verify_signature
+from repro.audit.provenance import provenance
+from repro.audit.slo import SloEvaluation, SloProfile
+from repro.errors import AuditError, SignatureError
+
+__all__ = [
+    "REPORT_SCHEMA_VERSION",
+    "build_report",
+    "render_html",
+    "sign_report",
+    "verify_report",
+]
+
+REPORT_SCHEMA_VERSION = 1
+
+
+def build_report(ledger_path: str, *,
+                 chain: ChainVerification,
+                 profile: SloProfile,
+                 evaluation: SloEvaluation,
+                 signature_doc: dict[str, Any] | None = None,
+                 generated_at: str = "") -> dict[str, Any]:
+    """Assemble the JSON report body for one ledger.
+
+    ``generated_at`` is caller-supplied context (clock-free by default,
+    matching the rest of the audit trail).
+    """
+    kinds = Counter(record.kind for record in Ledger(ledger_path).records())
+    if signature_doc is None:
+        ledger_signature: dict[str, Any] = {"present": False, "valid": None}
+    else:
+        ledger_signature = {
+            "present": True,
+            "valid": verify_signature(ledger_path, signature_doc),
+            "public_key": str(signature_doc.get("public_key", "")),
+        }
+    return {
+        "schema": REPORT_SCHEMA_VERSION,
+        "kind": "rfprotect-audit-report",
+        "generated_at": generated_at,
+        "ledger": {
+            "chain": chain.to_dict(),
+            "records_by_kind": dict(sorted(kinds.items())),
+            "signature": ledger_signature,
+        },
+        "slo": evaluation.to_dict(),
+        "profile_hash": digest(profile.to_dict()),
+        "provenance": provenance(),
+        "ok": bool(
+            chain.ok
+            and evaluation.ok
+            and ledger_signature["valid"] is not False
+        ),
+    }
+
+
+def sign_report(report: dict[str, Any], seed: bytes) -> dict[str, Any]:
+    """Wrap ``report`` in a signed envelope (signature over canonical body)."""
+    message = canonical_bytes(report)
+    return {
+        "report": report,
+        "public_key": ed25519.public_key(seed).hex(),
+        "signature": ed25519.sign(seed, message).hex(),
+    }
+
+
+def verify_report(document: dict[str, Any]) -> bool:
+    """Whether a signed report envelope's signature matches its body."""
+    try:
+        report = document["report"]
+        public = bytes.fromhex(str(document["public_key"]))
+        signature = bytes.fromhex(str(document["signature"]))
+    except (KeyError, TypeError, ValueError):
+        return False
+    if not isinstance(report, dict):
+        return False
+    try:
+        return ed25519.verify(public, canonical_bytes(report), signature)
+    except (SignatureError, AuditError):
+        return False
+
+
+_STYLE = """
+body { font-family: system-ui, sans-serif; margin: 2rem auto; max-width: 60rem;
+       color: #1a1a2e; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 1.6rem; }
+table { border-collapse: collapse; width: 100%; margin: 0.6rem 0; }
+th, td { border: 1px solid #cbd5e1; padding: 0.35rem 0.6rem;
+         text-align: left; font-size: 0.9rem; }
+th { background: #eef2f7; }
+code { font-family: ui-monospace, monospace; font-size: 0.85rem;
+       word-break: break-all; }
+.pass { color: #166534; font-weight: 600; }
+.fail { color: #b91c1c; font-weight: 600; }
+.muted { color: #64748b; }
+""".strip()
+
+
+def _status(ok: bool) -> str:
+    return ('<span class="pass">PASS</span>' if ok
+            else '<span class="fail">FAIL</span>')
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value))
+
+
+def render_html(report: dict[str, Any]) -> str:
+    """A deterministic, self-contained HTML view of the JSON report."""
+    chain = report["ledger"]["chain"]
+    signature = report["ledger"]["signature"]
+    slo = report["slo"]
+    prov = report["provenance"]
+
+    rows = []
+    for outcome in slo["outcomes"]:
+        rule = outcome["rule"]
+        value = ("&mdash;" if outcome["value"] is None
+                 else f"{outcome['value']:.6g}")
+        rows.append(
+            "<tr>"
+            f"<td><code>{_esc(rule['rule_id'])}</code></td>"
+            f"<td>{_esc(rule['description'])}</td>"
+            f"<td><code>{_esc(rule['source'])}</code></td>"
+            f"<td>{value} {_esc(rule['comparator'])} "
+            f"{_esc(rule['threshold'])}</td>"
+            f"<td>{_status(outcome['passed'])}"
+            f" <span class=\"muted\">{_esc(outcome['detail'])}</span></td>"
+            "</tr>"
+        )
+    record_rows = [
+        f"<tr><td>{_esc(kind)}</td><td>{count}</td></tr>"
+        for kind, count in report["ledger"]["records_by_kind"].items()
+    ]
+    if signature["present"]:
+        signature_line = (
+            f"{_status(bool(signature['valid']))} "
+            f"<code>{_esc(signature.get('public_key', ''))}</code>"
+        )
+    else:
+        signature_line = '<span class="muted">no ledger signature</span>'
+    config_rows = [
+        f"<tr><td><code>{_esc(name)}</code></td><td>{_esc(value)}</td></tr>"
+        for name, value in prov["config"].items()
+    ]
+    generated = (_esc(report["generated_at"]) if report["generated_at"]
+                 else '<span class="muted">(not recorded)</span>')
+
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>RF-Protect privacy audit report</title>
+<style>{_STYLE}</style>
+</head>
+<body>
+<h1>RF-Protect privacy audit report {_status(bool(report["ok"]))}</h1>
+<p class="muted">schema {report["schema"]} &middot; generated {generated}</p>
+
+<h2>Ledger integrity</h2>
+<table>
+<tr><th>Chain</th><td>{_status(bool(chain["ok"]))}
+ <span class="muted">{_esc(chain["reason"]) if chain["reason"] else ""}</span></td></tr>
+<tr><th>Records</th><td>{chain["length"]}</td></tr>
+<tr><th>Head hash</th><td><code>{_esc(chain["head_hash"])}</code></td></tr>
+<tr><th>Signature</th><td>{signature_line}</td></tr>
+</table>
+<table>
+<tr><th>Record kind</th><th>Count</th></tr>
+{"".join(record_rows) or '<tr><td colspan="2" class="muted">empty ledger</td></tr>'}
+</table>
+
+<h2>Privacy SLOs &mdash; profile <code>{_esc(slo["profile_name"])}</code>
+ ({slo["passed"]} passed, {slo["failed"]} failed)</h2>
+<table>
+<tr><th>Rule</th><th>Description</th><th>Source</th><th>Check</th>
+<th>Status</th></tr>
+{"".join(rows)}
+</table>
+
+<h2>Provenance</h2>
+<table>
+<tr><th>Package</th><td>repro {_esc(prov["package_version"])}
+ (python {_esc(prov["python_version"])})</td></tr>
+<tr><th>Config hash</th><td><code>{_esc(prov["config_hash"])}</code></td></tr>
+<tr><th>Profile hash</th><td><code>{_esc(report["profile_hash"])}</code></td></tr>
+</table>
+<table>
+<tr><th>Knob</th><th>Active value</th></tr>
+{"".join(config_rows)}
+</table>
+</body>
+</html>
+"""

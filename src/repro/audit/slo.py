@@ -1,0 +1,382 @@
+"""Declarative privacy-SLO rules engine over ledger records.
+
+A :class:`SloProfile` is a named list of :class:`SloRule`\\ s; each rule
+compares one observed value against a threshold. Values come from two
+sources:
+
+- ``metric:<name>`` — re-run one of the repo's privacy metrics
+  (:mod:`repro.privacy`, :mod:`repro.eavesdropper`-style attacker models)
+  with the rule's ``params``. These are the paper's evaluation quantities:
+  occupancy mutual information, detection rate under the defense, the
+  optimal count-attacker's accuracy, breath-selection probability.
+- ``record:<kind>:<dotted.path>`` — extract a number from every ledger
+  record of ``kind`` at ``dotted.path`` inside its payload (e.g.
+  ``experiment_run`` / ``summary.median_errors_m``), then fold the
+  matches with the rule's ``aggregate`` (``last``/``max``/``min``/
+  ``mean``). Lists encountered along the path fan out element-wise.
+
+Everything is deterministic: Monte-Carlo metrics draw from a
+``np.random.default_rng`` seeded by the rule's ``seed`` param, and
+profiles round-trip through canonical JSON so a profile file hashes
+stably into report provenance.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from collections.abc import Callable, Iterable, Mapping
+from typing import Any
+
+import numpy as np
+
+from repro.audit.ledger import RECORD_KINDS, LedgerRecord
+from repro.errors import AuditError
+from repro.privacy import (
+    OccupancyModel,
+    attacker_count_accuracy,
+    breath_guess_probability,
+    occupancy_detection_rate,
+)
+
+__all__ = [
+    "COMPARATORS",
+    "DEFAULT_PROFILE",
+    "METRIC_PROVIDERS",
+    "PROFILE_SCHEMA_VERSION",
+    "RuleOutcome",
+    "SloEvaluation",
+    "SloProfile",
+    "SloRule",
+    "evaluate_profile",
+    "load_profile",
+]
+
+PROFILE_SCHEMA_VERSION = 1
+
+#: Comparator name -> predicate(value, threshold).
+COMPARATORS: dict[str, Callable[[float, float], bool]] = {
+    "<=": lambda value, threshold: value <= threshold,
+    ">=": lambda value, threshold: value >= threshold,
+    "<": lambda value, threshold: value < threshold,
+    ">": lambda value, threshold: value > threshold,
+}
+
+_AGGREGATES: dict[str, Callable[[list[float]], float]] = {
+    "last": lambda values: values[-1],
+    "max": max,
+    "min": min,
+    "mean": lambda values: sum(values) / len(values),
+}
+
+
+def _metric_mutual_information(params: Mapping[str, Any]) -> float:
+    model = OccupancyModel(
+        num_humans=int(params.get("num_humans", 4)),
+        moving_probability=float(params.get("moving_probability", 0.2)),
+        num_phantoms=int(params.get("num_phantoms", 10)),
+        phantom_probability=float(params.get("phantom_probability", 0.5)),
+    )
+    return model.mutual_information()
+
+
+def _metric_detection_rate(params: Mapping[str, Any]) -> float:
+    rates = occupancy_detection_rate(
+        num_humans=int(params.get("num_humans", 4)),
+        moving_probability=float(params.get("moving_probability", 0.2)),
+        num_phantoms=int(params.get("num_phantoms", 10)),
+        phantom_probability=float(params.get("phantom_probability", 0.5)),
+    )
+    return float(rates["with_defense"])
+
+
+def _metric_count_accuracy(params: Mapping[str, Any]) -> float:
+    accuracy = attacker_count_accuracy(
+        num_humans=int(params.get("num_humans", 4)),
+        moving_probability=float(params.get("moving_probability", 0.2)),
+        num_phantoms=int(params.get("num_phantoms", 10)),
+        phantom_probability=float(params.get("phantom_probability", 0.5)),
+        rng=np.random.default_rng(int(params.get("seed", 0))),
+        trials=int(params.get("trials", 4000)),
+    )
+    return float(accuracy["accuracy_with_defense"])
+
+
+def _metric_breath_guess(params: Mapping[str, Any]) -> float:
+    return breath_guess_probability(
+        num_real=int(params.get("num_real", 1)),
+        num_fake=int(params.get("num_fake", 3)),
+    )
+
+
+#: Metric-source providers: name -> params -> observed value.
+METRIC_PROVIDERS: dict[str, Callable[[Mapping[str, Any]], float]] = {
+    "occupancy_mutual_information_bits": _metric_mutual_information,
+    "occupancy_detection_rate": _metric_detection_rate,
+    "attacker_count_accuracy": _metric_count_accuracy,
+    "breath_guess_probability": _metric_breath_guess,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class SloRule:
+    """One declarative check: ``source`` ``comparator`` ``threshold``."""
+
+    rule_id: str
+    description: str
+    source: str
+    comparator: str
+    threshold: float
+    params: dict[str, Any] = dataclasses.field(default_factory=dict)
+    aggregate: str = "last"
+
+    def __post_init__(self) -> None:
+        if self.comparator not in COMPARATORS:
+            known = ", ".join(sorted(COMPARATORS))
+            raise AuditError(
+                f"rule {self.rule_id}: unknown comparator "
+                f"{self.comparator!r}; known: {known}"
+            )
+        if self.aggregate not in _AGGREGATES:
+            known = ", ".join(sorted(_AGGREGATES))
+            raise AuditError(
+                f"rule {self.rule_id}: unknown aggregate "
+                f"{self.aggregate!r}; known: {known}"
+            )
+        scheme = self.source.split(":", 1)[0]
+        if scheme == "metric":
+            name = self.source.split(":", 1)[1]
+            if name not in METRIC_PROVIDERS:
+                known = ", ".join(sorted(METRIC_PROVIDERS))
+                raise AuditError(
+                    f"rule {self.rule_id}: unknown metric {name!r}; "
+                    f"known: {known}"
+                )
+        elif scheme == "record":
+            parts = self.source.split(":")
+            if len(parts) != 3 or parts[1] not in RECORD_KINDS or not parts[2]:
+                raise AuditError(
+                    f"rule {self.rule_id}: record source must be "
+                    f"'record:<kind>:<dotted.path>' with kind in "
+                    f"{RECORD_KINDS}, got {self.source!r}"
+                )
+        else:
+            raise AuditError(
+                f"rule {self.rule_id}: source must start with 'metric:' or "
+                f"'record:', got {self.source!r}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule_id": self.rule_id,
+            "description": self.description,
+            "source": self.source,
+            "comparator": self.comparator,
+            "threshold": self.threshold,
+            "params": self.params,
+            "aggregate": self.aggregate,
+        }
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, Any]) -> "SloRule":
+        try:
+            return cls(
+                rule_id=str(record["rule_id"]),
+                description=str(record.get("description", "")),
+                source=str(record["source"]),
+                comparator=str(record["comparator"]),
+                threshold=float(record["threshold"]),
+                params=dict(record.get("params", {})),
+                aggregate=str(record.get("aggregate", "last")),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise AuditError(f"malformed SLO rule: {error}") from error
+
+
+@dataclasses.dataclass(frozen=True)
+class SloProfile:
+    """A named set of SLO rules (unique rule ids)."""
+
+    name: str
+    rules: tuple[SloRule, ...]
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for rule in self.rules:
+            if rule.rule_id in seen:
+                raise AuditError(
+                    f"profile {self.name!r} repeats rule id {rule.rule_id!r}"
+                )
+            seen.add(rule.rule_id)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": PROFILE_SCHEMA_VERSION,
+            "name": self.name,
+            "rules": [rule.to_dict() for rule in self.rules],
+        }
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, Any]) -> "SloProfile":
+        schema = int(record.get("schema", PROFILE_SCHEMA_VERSION))
+        if schema != PROFILE_SCHEMA_VERSION:
+            raise AuditError(
+                f"unsupported profile schema {schema}, expected "
+                f"{PROFILE_SCHEMA_VERSION}"
+            )
+        rules_raw = record.get("rules")
+        if not isinstance(rules_raw, list):
+            raise AuditError("profile 'rules' must be a list")
+        return cls(
+            name=str(record.get("name", "unnamed")),
+            rules=tuple(SloRule.from_dict(rule) for rule in rules_raw),
+        )
+
+
+#: The built-in privacy SLO profile: the paper's Sec. 7 attacks at the
+#: reference operating point (N=4 occupants, p=0.2 moving, M=10 phantoms
+#: firing at q=0.5), thresholds where the defense is doing its job.
+DEFAULT_PROFILE = SloProfile(
+    name="rf-protect-default",
+    rules=(
+        SloRule(
+            rule_id="mi-leak",
+            description="occupancy channel leaks at most 0.6 bits",
+            source="metric:occupancy_mutual_information_bits",
+            comparator="<=", threshold=0.6,
+        ),
+        SloRule(
+            rule_id="occupancy-confusion",
+            description="'is anyone home?' attacker correct at most 80% "
+                        "of the time",
+            source="metric:occupancy_detection_rate",
+            comparator="<=", threshold=0.8,
+        ),
+        SloRule(
+            rule_id="count-confusion",
+            description="optimal MAP count attacker exactly right at most "
+                        "60% of the time",
+            source="metric:attacker_count_accuracy",
+            comparator="<=", threshold=0.6,
+            params={"seed": 0, "trials": 4000},
+        ),
+        SloRule(
+            rule_id="breath-selection",
+            description="victim breath picked with at most uniform "
+                        "probability over 1 real + 3 spoofed",
+            source="metric:breath_guess_probability",
+            comparator="<=", threshold=0.25,
+            params={"num_real": 1, "num_fake": 3},
+        ),
+    ),
+)
+
+
+def load_profile(path: str) -> SloProfile:
+    """Load a profile from a JSON file."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            record = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise AuditError(f"cannot load SLO profile {path}: {error}") from error
+    if not isinstance(record, dict):
+        raise AuditError(f"SLO profile {path} is not a JSON object")
+    return SloProfile.from_dict(record)
+
+
+@dataclasses.dataclass(frozen=True)
+class RuleOutcome:
+    """One evaluated rule: the observed value and the verdict."""
+
+    rule: SloRule
+    value: float | None
+    passed: bool
+    detail: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule.to_dict(),
+            "value": self.value,
+            "passed": self.passed,
+            "detail": self.detail,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class SloEvaluation:
+    """All rule outcomes for one profile over one ledger."""
+
+    profile_name: str
+    outcomes: tuple[RuleOutcome, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(outcome.passed for outcome in self.outcomes)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "profile_name": self.profile_name,
+            "ok": self.ok,
+            "passed": sum(1 for o in self.outcomes if o.passed),
+            "failed": sum(1 for o in self.outcomes if not o.passed),
+            "outcomes": [outcome.to_dict() for outcome in self.outcomes],
+        }
+
+
+def _walk_path(value: Any, parts: list[str]) -> list[float]:
+    """Numeric leaves at ``parts`` below ``value``; lists fan out."""
+    if isinstance(value, list):
+        # Fan out before the leaf test so a list at the end of the path
+        # contributes every element, not nothing.
+        found: list[float] = []
+        for element in value:
+            found.extend(_walk_path(element, parts))
+        return found
+    if not parts:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return []
+        return [float(value)]
+    if isinstance(value, dict) and parts[0] in value:
+        return _walk_path(value[parts[0]], parts[1:])
+    return []
+
+
+def _record_values(rule: SloRule,
+                   records: Iterable[LedgerRecord]) -> list[float]:
+    _, kind, dotted = rule.source.split(":", 2)
+    parts = dotted.split(".")
+    values: list[float] = []
+    for record in records:
+        if record.kind == kind:
+            values.extend(_walk_path(record.payload, parts))
+    return values
+
+
+def _evaluate_rule(rule: SloRule,
+                   records: list[LedgerRecord]) -> RuleOutcome:
+    if rule.source.startswith("metric:"):
+        provider = METRIC_PROVIDERS[rule.source.split(":", 1)[1]]
+        value = float(provider(rule.params))
+        detail = f"recomputed {rule.source}"
+    else:
+        values = _record_values(rule, records)
+        if not values:
+            return RuleOutcome(
+                rule=rule, value=None, passed=False,
+                detail=f"no ledger values at {rule.source}",
+            )
+        value = float(_AGGREGATES[rule.aggregate](values))
+        detail = f"{rule.aggregate} of {len(values)} ledger value(s)"
+    passed = COMPARATORS[rule.comparator](value, rule.threshold)
+    return RuleOutcome(rule=rule, value=value, passed=passed, detail=detail)
+
+
+def evaluate_profile(profile: SloProfile,
+                     records: Iterable[LedgerRecord]) -> SloEvaluation:
+    """Evaluate every rule; record rules see the given ledger records."""
+    materialized = list(records)
+    return SloEvaluation(
+        profile_name=profile.name,
+        outcomes=tuple(_evaluate_rule(rule, materialized)
+                       for rule in profile.rules),
+    )

@@ -9,6 +9,7 @@ Usage::
     rfprotect run all --fast --workers 4   # fan out over 4 processes
     rfprotect lint src tests       # rflint static-analysis suite
     rfprotect serve --requests 32  # micro-batching sensing service demo
+    rfprotect audit report runs/   # signed privacy audit report
 """
 
 from __future__ import annotations
@@ -66,6 +67,13 @@ def _build_parser() -> argparse.ArgumentParser:
              "(see 'rfprotect serve -h')",
     )
     serve_parser.add_argument("serve_args", nargs=argparse.REMAINDER)
+
+    audit_parser = subparsers.add_parser(
+        "audit", add_help=False,
+        help="hash-chained, signed privacy audit trail "
+             "(see 'rfprotect audit -h')",
+    )
+    audit_parser.add_argument("audit_args", nargs=argparse.REMAINDER)
     return parser
 
 
@@ -94,6 +102,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.serve.app import main as serve_main
 
         return serve_main(arguments[1:])
+    if arguments[:1] == ["audit"]:
+        # Same forwarding pattern: audit owns its subcommand surface.
+        from repro.audit.app import main as audit_main
+
+        return audit_main(arguments[1:])
     args = _build_parser().parse_args(arguments)
 
     if args.command == "list":

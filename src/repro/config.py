@@ -30,6 +30,9 @@ from typing import Generic, TypeVar
 from repro.errors import ConfigurationError
 
 __all__ = [
+    "AUDIT_KEY_FILE_VAR",
+    "AUDIT_LEDGER_NAME_VAR",
+    "AUDIT_PROFILE_VAR",
     "ENV_ACCESSORS",
     "ENV_REGISTRY",
     "EnvVar",
@@ -51,6 +54,9 @@ __all__ = [
     "SESSION_SWEEP_S_VAR",
     "SYNTH_BACKENDS",
     "SYNTH_BACKEND_VAR",
+    "get_audit_key_file",
+    "get_audit_ledger_name",
+    "get_audit_profile",
     "get_lint_cache_dir",
     "get_nn_backend",
     "get_nn_dtype",
@@ -190,6 +196,16 @@ NN_DTYPE_VAR: EnvVar[str] = _register(
 )
 
 
+def _nonempty_str_parser(var_name: str) -> Callable[[str], str]:
+    """A parser accepting any non-empty (post-strip) string."""
+    def parse(raw: str) -> str:
+        value = raw.strip()
+        if not value:
+            raise ConfigurationError(f"{var_name} must not be empty")
+        return value
+    return parse
+
+
 def _positive_int_parser(var_name: str) -> Callable[[str], int]:
     """A parser accepting strictly positive integers."""
     def parse(raw: str) -> int:
@@ -321,6 +337,42 @@ SESSION_SWEEP_S_VAR: EnvVar[float] = _register(
 )
 
 
+AUDIT_LEDGER_NAME_VAR: EnvVar[str] = _register(
+    EnvVar(
+        name="RF_PROTECT_AUDIT_LEDGER",
+        default="ledger.jsonl",
+        parse=_nonempty_str_parser("RF_PROTECT_AUDIT_LEDGER"),
+        description="filename of the hash-chained artifact ledger inside a "
+                    "record directory (experiments runner and 'rfprotect "
+                    "audit' must agree on it)",
+    )
+)
+
+
+AUDIT_KEY_FILE_VAR: EnvVar[str] = _register(
+    EnvVar(
+        name="RF_PROTECT_AUDIT_KEY",
+        default="",
+        parse=lambda raw: raw.strip(),
+        description="path to an Ed25519 signing-key file (from 'rfprotect "
+                    "audit keygen'); empty (the default) leaves ledgers and "
+                    "reports unsigned, CLI --key-file overrides",
+    )
+)
+
+
+AUDIT_PROFILE_VAR: EnvVar[str] = _register(
+    EnvVar(
+        name="RF_PROTECT_AUDIT_PROFILE",
+        default="",
+        parse=lambda raw: raw.strip(),
+        description="path to a privacy-SLO profile JSON for 'rfprotect "
+                    "audit report'; empty (the default) evaluates the "
+                    "built-in rf-protect-default profile",
+    )
+)
+
+
 LINT_CACHE_VAR: EnvVar[str] = _register(
     EnvVar(
         name="RF_PROTECT_LINT_CACHE",
@@ -331,6 +383,21 @@ LINT_CACHE_VAR: EnvVar[str] = _register(
                     "--cache-dir/--no-cache override in either direction",
     )
 )
+
+
+def get_audit_ledger_name(environ: Mapping[str, str] | None = None) -> str:
+    """Ledger filename inside a record dir, from ``RF_PROTECT_AUDIT_LEDGER``."""
+    return AUDIT_LEDGER_NAME_VAR.read(environ)
+
+
+def get_audit_key_file(environ: Mapping[str, str] | None = None) -> str:
+    """Signing-key file path ('' = unsigned), from ``RF_PROTECT_AUDIT_KEY``."""
+    return AUDIT_KEY_FILE_VAR.read(environ)
+
+
+def get_audit_profile(environ: Mapping[str, str] | None = None) -> str:
+    """SLO profile path ('' = built-in), from ``RF_PROTECT_AUDIT_PROFILE``."""
+    return AUDIT_PROFILE_VAR.read(environ)
 
 
 def get_lint_cache_dir(environ: Mapping[str, str] | None = None) -> str:
@@ -407,6 +474,9 @@ def get_session_sweep_s(environ: Mapping[str, str] | None = None) -> float:
 #: this to prove the registry is complete: a knob declared without a typed
 #: accessor (or vice versa) fails ``tests/test_config_registry.py``.
 ENV_ACCESSORS: dict[str, Callable[[Mapping[str, str] | None], object]] = {
+    "RF_PROTECT_AUDIT_LEDGER": get_audit_ledger_name,
+    "RF_PROTECT_AUDIT_KEY": get_audit_key_file,
+    "RF_PROTECT_AUDIT_PROFILE": get_audit_profile,
     "RF_PROTECT_LINT_CACHE": get_lint_cache_dir,
     "RF_PROTECT_SYNTH": get_synth_backend,
     "RF_PROTECT_PIPELINE": get_pipeline_backend,

@@ -7,8 +7,9 @@ count), no wall-clock/uuid nondeterminism in result paths, centralized
 and hygiene classics (mutable defaults, swallowed exceptions, unseeded
 test RNGs).
 
-Rule ids are stable: ``RFP001``–``RFP009`` here; the cross-module rules
-``RFP010``–``RFP014`` live in :mod:`repro.devtools.projectrules`.
+Rule ids are stable: ``RFP001``–``RFP009`` and ``RFP015`` here; the
+cross-module rules ``RFP010``–``RFP014`` live in
+:mod:`repro.devtools.projectrules`.
 Suppress a deliberate violation with a trailing ``# rflint:
 disable=RFP00x`` comment (it covers the statement's whole line span).
 """
@@ -30,6 +31,7 @@ __all__ = [
     "TestHygiene",
     "AsyncBlockingCall",
     "BackendDispatchOutsideRegistry",
+    "CanonicalSerializationDiscipline",
 ]
 
 
@@ -763,3 +765,56 @@ class BackendDispatchOutsideRegistry(Rule):
                             f"invites scattered backend conditionals; "
                             f"resolve kernels via repro.radar.stages.KERNELS",
                         )
+
+
+_JSON_SERIALIZERS = frozenset({"json.dumps", "json.dump"})
+
+
+@register
+class CanonicalSerializationDiscipline(Rule):
+    """RFP015 — audit-package JSON must serialize with sorted keys.
+
+    Every hash and signature in :mod:`repro.audit` is computed over JSON
+    bytes, so two serializations of the same record must be the same
+    bytes. Python dicts preserve insertion order, which means a
+    ``json.dumps`` without ``sort_keys=True`` bakes call-site history
+    into the hash: reorder two assignments and every chain link and
+    signature silently changes. Inside ``repro/audit/`` any
+    ``json.dumps``/``json.dump`` call must pass a literal
+    ``sort_keys=True`` (or go through
+    :func:`repro.audit.canonical.canonical_json`, which does).
+    """
+
+    rule_id = "RFP015"
+    title = "json serialization without sort_keys in the audit package"
+    include = ("*repro/audit/*",)
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        aliases = build_aliases(source.tree)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve(node.func, aliases)
+            if target not in _JSON_SERIALIZERS:
+                continue
+            sort_keys = next(
+                (kw.value for kw in node.keywords
+                 if kw.arg == "sort_keys"),
+                None,
+            )
+            if (isinstance(sort_keys, ast.Constant)
+                    and sort_keys.value is True):
+                continue
+            if sort_keys is None:
+                detail = "without sort_keys"
+            elif isinstance(sort_keys, ast.Constant):
+                detail = f"with sort_keys={sort_keys.value!r}"
+            else:
+                detail = "with a non-literal sort_keys"
+            yield self.finding(
+                source, node,
+                f"{target}() {detail} in the audit package makes "
+                f"hashes depend on dict insertion order; pass "
+                f"sort_keys=True or use "
+                f"repro.audit.canonical.canonical_json()",
+            )

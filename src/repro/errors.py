@@ -66,3 +66,15 @@ class ServiceClosedError(ServeError):
 
 class SessionNotFoundError(ServeError):
     """A tracked request named a session the store does not hold."""
+
+
+class AuditError(ReproError):
+    """Base class for failures raised by the audit subsystem (`repro.audit`)."""
+
+
+class LedgerError(AuditError):
+    """An artifact ledger is malformed, unreadable, or fails chain checks."""
+
+
+class SignatureError(AuditError):
+    """A key or signature is malformed, or a signature check failed."""

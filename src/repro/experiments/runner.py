@@ -14,6 +14,7 @@ import concurrent.futures
 import dataclasses
 import inspect
 import json
+import math
 import os
 import time
 from collections.abc import Callable, Sequence
@@ -176,14 +177,25 @@ class ExperimentRun:
     stage_timings: dict[str, Any] = dataclasses.field(default_factory=dict)
 
     def record(self) -> dict[str, Any]:
-        """A small JSON-serializable summary of this run."""
+        """A self-describing JSON record of this run.
+
+        Besides the timing/option summary, the record carries provenance
+        (package version, resolved ``RF_PROTECT_*`` knobs and their
+        canonical hash — :mod:`repro.audit.provenance`) and a scalar
+        summary of the result object, so a ledger entry holding it is
+        auditable without re-running the experiment.
+        """
+        from repro.audit.provenance import provenance
+
         return {
             "experiment_id": self.experiment_id,
             "elapsed_s": self.elapsed_s,
             "options": {key: _jsonable(value)
                         for key, value in sorted(self.options.items())},
             "result_type": type(self.result).__name__,
+            "result_summary": _result_summary(self.result),
             "stage_timings": self.stage_timings,
+            "provenance": provenance(),
         }
 
 
@@ -191,6 +203,39 @@ def _jsonable(value: Any) -> Any:
     if isinstance(value, (bool, int, float, str)) or value is None:
         return value
     return repr(value)
+
+
+def _summary_scalar(value: Any) -> Any | None:
+    """``value`` as a canonical-JSON-safe scalar, or ``None`` to skip."""
+    if isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value) if math.isfinite(float(value)) else None
+    return None
+
+
+def _result_summary(result: Any, *, max_list_items: int = 32) -> dict[str, Any]:
+    """Scalar fields (and short scalar lists) of a dataclass result.
+
+    Trajectories, power cubes, and other arrays stay out — the summary
+    is what a privacy-SLO record rule can reference by dotted path.
+    """
+    if not dataclasses.is_dataclass(result) or isinstance(result, type):
+        return {}
+    summary: dict[str, Any] = {}
+    for field in dataclasses.fields(result):
+        value = getattr(result, field.name)
+        scalar = _summary_scalar(value)
+        if scalar is not None:
+            summary[field.name] = scalar
+            continue
+        if isinstance(value, (list, tuple)) and len(value) <= max_list_items:
+            items = [_summary_scalar(item) for item in value]
+            if items and all(item is not None for item in items):
+                summary[field.name] = items
+    return summary
 
 
 def experiment_seeds(num_experiments: int, base_seed: int) -> list[int]:
@@ -294,9 +339,28 @@ def run_experiments(experiment_ids: Sequence[str], *, fast: bool = False,
             runs = [future.result() for future in futures]
 
     if record_dir is not None:
-        os.makedirs(record_dir, exist_ok=True)
-        for run in runs:
-            path = os.path.join(record_dir, f"{run.experiment_id}.json")
-            with open(path, "w", encoding="utf-8") as handle:
-                json.dump(run.record(), handle, indent=2, sort_keys=True)
+        _write_records(record_dir, runs)
     return runs
+
+
+def _write_records(record_dir: str, runs: Sequence[ExperimentRun]) -> None:
+    """Per-experiment JSON records plus chained ledger entries.
+
+    Each run record is written both as ``<id>.json`` (human-greppable)
+    and appended as an ``experiment_run`` record to the directory's
+    hash-chained ledger (:mod:`repro.audit.ledger`), which ``rfprotect
+    audit sign``/``verify``/``report`` operate on. Appends re-anchor on
+    the ledger's current tail, so repeated runs into one directory keep
+    one continuous chain.
+    """
+    from repro.audit.ledger import Ledger
+    from repro.config import get_audit_ledger_name
+
+    os.makedirs(record_dir, exist_ok=True)
+    ledger = Ledger(os.path.join(record_dir, get_audit_ledger_name()))
+    for run in runs:
+        record = run.record()
+        path = os.path.join(record_dir, f"{run.experiment_id}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+        ledger.append("experiment_run", record)

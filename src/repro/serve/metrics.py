@@ -207,10 +207,18 @@ class MetricsRegistry:
         with self._lock:
             gauge.set(value)
 
-    def snapshot(self) -> dict[str, object]:
-        """A point-in-time JSON-serializable view of every instrument."""
+    def snapshot(self, *, now: float | None = None,
+                 sequence: int | None = None) -> dict[str, object]:
+        """A point-in-time JSON-serializable view of every instrument.
+
+        ``now``/``sequence`` are caller-supplied context keys (the
+        ``SessionStore`` ``now=`` convention: the registry never reads a
+        clock), so snapshots appended to an audit ledger are
+        deterministic and replayable — the same instrument state with
+        the same stamps serializes to the same bytes.
+        """
         with self._lock:
-            return {
+            snapshot: dict[str, object] = {
                 "counters": {
                     name: counter.value
                     for name, counter in sorted(self._counters.items())
@@ -224,7 +232,14 @@ class MetricsRegistry:
                     for name, histogram in sorted(self._histograms.items())
                 },
             }
+        if now is not None:
+            snapshot["now"] = float(now)
+        if sequence is not None:
+            snapshot["sequence"] = int(sequence)
+        return snapshot
 
-    def to_json(self, *, indent: int | None = 2) -> str:
-        """The snapshot as a JSON document."""
-        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+    def to_json(self, *, indent: int | None = 2, now: float | None = None,
+                sequence: int | None = None) -> str:
+        """The snapshot as a JSON document (same ``now``/``sequence`` keys)."""
+        return json.dumps(self.snapshot(now=now, sequence=sequence),
+                          indent=indent, sort_keys=True)

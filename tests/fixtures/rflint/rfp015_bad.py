@@ -1,0 +1,16 @@
+"""Bad fixture for RFP015: unsorted JSON serialization in repro.audit."""
+
+import json
+from json import dumps
+
+
+def chain_body(record: dict) -> str:
+    plain = json.dumps(record)
+    explicit_false = json.dumps(record, sort_keys=False)
+    aliased = dumps(record, separators=(",", ":"))
+    non_literal = json.dumps(record, sort_keys=bool(record))
+    return plain + explicit_false + aliased + non_literal
+
+
+def write_record(record: dict, handle) -> None:
+    json.dump(record, handle, indent=2)

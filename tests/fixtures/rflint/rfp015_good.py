@@ -1,0 +1,19 @@
+"""Good fixture for RFP015: every serialization pins sort_keys=True."""
+
+import json
+from json import dumps
+
+
+def chain_body(record: dict) -> str:
+    canonical = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    aliased = dumps(record, sort_keys=True)
+    return canonical + aliased
+
+
+def write_record(record: dict, handle) -> None:
+    json.dump(record, handle, indent=2, sort_keys=True)
+
+
+def read_record(handle) -> dict:
+    # Deserialization carries no ordering hazard; json.load is fine.
+    return json.load(handle)

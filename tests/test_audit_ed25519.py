@@ -1,0 +1,132 @@
+"""Tests for repro.audit.ed25519: the RFC 8032 signature primitive.
+
+The implementation is pinned directly to the RFC 8032 section 7.1 test
+vectors — keygen, signing, and verification must reproduce them byte for
+byte — then exercised for the properties the audit trail depends on:
+any bit flip in message, signature, or public key must fail
+verification, and malformed inputs must raise rather than "verify".
+"""
+
+import pytest
+
+from repro.audit import ed25519
+from repro.errors import SignatureError
+
+#: RFC 8032 section 7.1 vectors: (seed, public key, message, signature).
+RFC8032_VECTORS = [
+    (  # TEST 1 (empty message)
+        "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60",
+        "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a",
+        "",
+        "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155"
+        "5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b",
+    ),
+    (  # TEST 2 (one byte)
+        "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb",
+        "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c",
+        "72",
+        "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da"
+        "085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00",
+    ),
+    (  # TEST 3 (two bytes)
+        "c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7",
+        "fc51cd8e6218a1a38da47ed00230f0580816ed13ba3303ac5deb911548908025",
+        "af82",
+        "6291d657deec24024827e69c3abe01a30ce548a284743a445e3680d7db5ac3ac"
+        "18ff9b538d16f290ae67f760984dc6594a7c15e9716ed28dc027beceea1ec40a",
+    ),
+    (  # TEST SHA(abc) (64-byte message)
+        "833fe62409237b9d62ec77587520911e9a759cec1d19755b7da901b96dca3d42",
+        "ec172b93ad5e563bf4932c70e1245034c35467ef2efd4d64ebf819683467e2bf",
+        "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+        "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f",
+        "dc2a4459e7369633a52b1bf277839a00201009a3efbf3ecb69bea2186c26b589"
+        "09351fc9ac90b3ecfdfbc7c66431e0303dca179c138ac17ad9bef1177331a704",
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "seed_hex, public_hex, message_hex, signature_hex", RFC8032_VECTORS
+)
+class TestRfc8032Vectors:
+    def test_public_key_derivation(self, seed_hex, public_hex, message_hex,
+                                   signature_hex):
+        seed = bytes.fromhex(seed_hex)
+        assert ed25519.public_key(seed).hex() == public_hex
+
+    def test_signature(self, seed_hex, public_hex, message_hex,
+                       signature_hex):
+        seed = bytes.fromhex(seed_hex)
+        message = bytes.fromhex(message_hex)
+        assert ed25519.sign(seed, message).hex() == signature_hex
+
+    def test_verification(self, seed_hex, public_hex, message_hex,
+                          signature_hex):
+        assert ed25519.verify(
+            bytes.fromhex(public_hex),
+            bytes.fromhex(message_hex),
+            bytes.fromhex(signature_hex),
+        )
+
+
+class TestRoundTrip:
+    def test_sign_verify_roundtrip(self):
+        seed = bytes(range(32))
+        message = b"rfprotect audit chain head"
+        signature = ed25519.sign(seed, message)
+        assert ed25519.verify(ed25519.public_key(seed), message, signature)
+
+    def test_deterministic_signatures(self):
+        # RFC 8032 signatures carry no nonce: same seed + message must
+        # yield identical bytes (the audit trail depends on replayable
+        # signing).
+        seed = bytes(range(32))
+        message = b"same message"
+        assert ed25519.sign(seed, message) == ed25519.sign(seed, message)
+
+    @pytest.mark.parametrize("flip_at", [0, 7, 31])
+    def test_tampered_message_fails(self, flip_at):
+        seed = bytes(range(32))
+        message = bytearray(b"x" * 32)
+        signature = ed25519.sign(seed, bytes(message))
+        message[flip_at] ^= 0x01
+        assert not ed25519.verify(
+            ed25519.public_key(seed), bytes(message), signature
+        )
+
+    @pytest.mark.parametrize("flip_at", [0, 31, 32, 63])
+    def test_tampered_signature_fails(self, flip_at):
+        # Both halves of the signature (R point and s scalar) are load-
+        # bearing; a flipped bit in either must not verify.
+        seed = bytes(range(32))
+        message = b"payload"
+        signature = bytearray(ed25519.sign(seed, message))
+        signature[flip_at] ^= 0x01
+        assert not ed25519.verify(
+            ed25519.public_key(seed), message, bytes(signature)
+        )
+
+    def test_wrong_public_key_fails(self):
+        message = b"payload"
+        signature = ed25519.sign(bytes(range(32)), message)
+        other_public = ed25519.public_key(bytes(range(1, 33)))
+        assert not ed25519.verify(other_public, message, signature)
+
+
+class TestInputValidation:
+    def test_bad_seed_size_raises(self):
+        with pytest.raises(SignatureError):
+            ed25519.public_key(b"short")
+        with pytest.raises(SignatureError):
+            ed25519.sign(b"\x00" * 31, b"message")
+
+    def test_bad_signature_size_raises(self):
+        public = ed25519.public_key(bytes(32))
+        with pytest.raises(SignatureError):
+            ed25519.verify(public, b"message", b"\x00" * 63)
+
+    def test_bad_public_key_size_raises(self):
+        signature = ed25519.sign(bytes(32), b"message")
+        with pytest.raises(SignatureError):
+            ed25519.verify(b"\x00" * 16, b"message", signature)

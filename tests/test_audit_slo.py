@@ -1,0 +1,172 @@
+"""Tests for repro.audit.slo: the declarative privacy-SLO rules engine.
+
+The built-in profile must pass at the paper's reference operating point
+(that is the whole point of shipping it), record-sourced rules must
+extract and aggregate payload values correctly (including the fan-out
+over lists and the fail-closed behavior when a path matches nothing),
+and malformed rules/profiles must be rejected at construction time, not
+at evaluation time.
+"""
+
+import pytest
+
+from repro.audit.ledger import Ledger
+from repro.audit.slo import (
+    DEFAULT_PROFILE,
+    METRIC_PROVIDERS,
+    SloProfile,
+    SloRule,
+    evaluate_profile,
+    load_profile,
+)
+from repro.errors import AuditError
+
+
+def record_rule(source: str, *, comparator: str = "<=",
+                threshold: float = 1.0, aggregate: str = "last",
+                rule_id: str = "r1") -> SloRule:
+    return SloRule(rule_id=rule_id, description="", source=source,
+                   comparator=comparator, threshold=threshold,
+                   aggregate=aggregate)
+
+
+@pytest.fixture
+def run_records(tmp_path):
+    ledger = Ledger(str(tmp_path / "ledger.jsonl"))
+    for error in (0.3, 0.5, 0.1):
+        ledger.append("experiment_run", {
+            "experiment_id": "fig9",
+            "result_summary": {"median_errors_m": [error, error + 0.2]},
+        })
+    ledger.append("serve_metrics", {"counters": {"rejected": 2}})
+    return list(ledger.records())
+
+
+class TestDefaultProfile:
+    def test_passes_at_reference_operating_point(self):
+        evaluation = evaluate_profile(DEFAULT_PROFILE, [])
+        assert evaluation.ok
+        assert {o.rule.rule_id for o in evaluation.outcomes} == {
+            "mi-leak", "occupancy-confusion", "count-confusion",
+            "breath-selection",
+        }
+
+    def test_metric_rules_are_deterministic(self):
+        first = evaluate_profile(DEFAULT_PROFILE, [])
+        second = evaluate_profile(DEFAULT_PROFILE, [])
+        assert ([o.value for o in first.outcomes]
+                == [o.value for o in second.outcomes])
+
+    def test_roundtrips_through_dict(self):
+        restored = SloProfile.from_dict(DEFAULT_PROFILE.to_dict())
+        assert restored == DEFAULT_PROFILE
+
+    def test_every_provider_has_a_finite_value(self):
+        for name, provider in sorted(METRIC_PROVIDERS.items()):
+            value = provider({})
+            assert 0.0 <= value < 10.0, name
+
+
+class TestRecordRules:
+    def test_last_aggregate(self, run_records):
+        rule = record_rule(
+            "record:experiment_run:result_summary.median_errors_m",
+            aggregate="last", threshold=0.4,
+        )
+        evaluation = evaluate_profile(SloProfile("p", (rule,)), run_records)
+        outcome = evaluation.outcomes[0]
+        # Lists fan out element-wise; "last" sees the final element of
+        # the final matching record: 0.1 + 0.2.
+        assert outcome.value == pytest.approx(0.3)
+        assert outcome.passed
+
+    def test_max_and_mean_aggregates(self, run_records):
+        source = "record:experiment_run:result_summary.median_errors_m"
+        values = {
+            aggregate: evaluate_profile(
+                SloProfile("p", (record_rule(source, aggregate=aggregate),)),
+                run_records,
+            ).outcomes[0].value
+            for aggregate in ("max", "min", "mean")
+        }
+        assert values["max"] == pytest.approx(0.7)
+        assert values["min"] == pytest.approx(0.1)
+        assert values["mean"] == pytest.approx((0.3 + 0.5 + 0.5 + 0.7
+                                                + 0.1 + 0.3) / 6)
+
+    def test_kind_filter(self, run_records):
+        rule = record_rule("record:serve_metrics:counters.rejected",
+                           comparator="<=", threshold=5.0)
+        outcome = evaluate_profile(
+            SloProfile("p", (rule,)), run_records
+        ).outcomes[0]
+        assert outcome.value == pytest.approx(2.0)
+        assert outcome.passed
+
+    def test_no_matching_values_fails_closed(self, run_records):
+        rule = record_rule("record:benchmark_timing:p50_s")
+        outcome = evaluate_profile(
+            SloProfile("p", (rule,)), run_records
+        ).outcomes[0]
+        assert not outcome.passed
+        assert outcome.value is None
+        assert "no ledger values" in outcome.detail
+
+    def test_threshold_violation_fails(self, run_records):
+        rule = record_rule(
+            "record:experiment_run:result_summary.median_errors_m",
+            aggregate="max", threshold=0.5,
+        )
+        evaluation = evaluate_profile(SloProfile("p", (rule,)), run_records)
+        assert not evaluation.ok
+        assert evaluation.to_dict()["failed"] == 1
+
+
+class TestValidation:
+    def test_unknown_comparator(self):
+        with pytest.raises(AuditError, match="unknown comparator"):
+            record_rule("record:experiment_run:x", comparator="==")
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(AuditError, match="unknown aggregate"):
+            record_rule("record:experiment_run:x", aggregate="median")
+
+    def test_unknown_metric(self):
+        with pytest.raises(AuditError, match="unknown metric"):
+            record_rule("metric:nonexistent_metric")
+
+    def test_unknown_scheme(self):
+        with pytest.raises(AuditError, match="source must start"):
+            record_rule("ledger:experiment_run:x")
+
+    def test_bad_record_source_shape(self):
+        with pytest.raises(AuditError, match="record source"):
+            record_rule("record:unknown_kind:x")
+        with pytest.raises(AuditError, match="record source"):
+            record_rule("record:experiment_run")
+
+    def test_duplicate_rule_ids(self):
+        rule = record_rule("record:experiment_run:x")
+        with pytest.raises(AuditError, match="repeats rule id"):
+            SloProfile("p", (rule, rule))
+
+
+class TestProfileFiles:
+    def test_load_roundtrip(self, tmp_path):
+        from repro.audit import canonical_json
+
+        path = tmp_path / "profile.json"
+        path.write_text(canonical_json(DEFAULT_PROFILE.to_dict()) + "\n",
+                        encoding="utf-8")
+        assert load_profile(str(path)) == DEFAULT_PROFILE
+
+    def test_load_rejects_bad_schema(self, tmp_path):
+        path = tmp_path / "profile.json"
+        path.write_text('{"schema": 99, "name": "x", "rules": []}',
+                        encoding="utf-8")
+        with pytest.raises(AuditError, match="unsupported profile schema"):
+            load_profile(str(path))
+
+    def test_load_rejects_missing_file(self, tmp_path):
+        with pytest.raises(AuditError, match="cannot load"):
+            load_profile(str(tmp_path / "absent.json"))

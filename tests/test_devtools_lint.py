@@ -39,8 +39,8 @@ FIXTURES = REPO_ROOT / "tests" / "fixtures" / "rflint"
 
 #: Display path each rule's fixtures are linted under, chosen to satisfy
 #: the rule's path scope (RFP004 only runs under radar/signal, RFP007
-#: only under tests, the project rules RFP010-RFP014 under their
-#: respective subsystem trees).
+#: only under tests, RFP015 only under the audit package, the project
+#: rules RFP010-RFP014 under their respective subsystem trees).
 RULE_DISPLAY_PATHS = {
     "RFP001": "src/repro/module.py",
     "RFP002": "src/repro/module.py",
@@ -56,6 +56,7 @@ RULE_DISPLAY_PATHS = {
     "RFP012": "src/repro/radar/module.py",
     "RFP013": "src/repro/radar/module.py",
     "RFP014": "src/repro/serve/module.py",
+    "RFP015": "src/repro/audit/module.py",
 }
 
 RULE_IDS = sorted(RULE_DISPLAY_PATHS)
@@ -67,7 +68,7 @@ def lint_fixture(name: str, display_path: str):
 
 
 class TestRegistry:
-    def test_all_fourteen_rules_registered(self):
+    def test_all_fifteen_rules_registered(self):
         assert sorted(all_rules()) == RULE_IDS
 
     def test_rules_have_docs_and_titles(self):

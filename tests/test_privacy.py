@@ -110,6 +110,17 @@ class TestMutualInformationCurve:
             mutual_information_curve(4, 0.2, np.zeros((2, 2), dtype=int),
                                      np.linspace(0, 1, 3))
 
+    @pytest.mark.parametrize("moving_probability", [0.0, 1.0])
+    def test_degenerate_occupancy_leaks_nothing(self, moving_probability):
+        # p = 0 (nobody moves) and p = 1 (everybody moves) make X
+        # deterministic, so H(X) = 0 and I(X; Z) must be exactly 0 over
+        # the whole (M, q) grid — no phantom budget can leak less.
+        surface = mutual_information_curve(
+            4, moving_probability, np.array([0, 1, 4, 8]),
+            np.linspace(0, 1, 9),
+        )
+        assert surface == pytest.approx(np.zeros_like(surface))
+
 
 class TestBreathGuess:
     def test_paper_formula(self):
@@ -117,7 +128,11 @@ class TestBreathGuess:
         assert breath_guess_probability(2, 2) == pytest.approx(0.5)
 
     def test_no_fakes_means_certainty(self):
-        assert breath_guess_probability(2, 0) == 1.0
+        # num_fake = 0 is the undefended room: the victim's breath is
+        # the only candidate, so the guess succeeds with certainty for
+        # any occupancy.
+        for num_real in (1, 2, 7):
+            assert breath_guess_probability(num_real, 0) == 1.0
 
     def test_rejects_empty_room(self):
         with pytest.raises(ConfigurationError):
@@ -165,3 +180,13 @@ class TestCountAttack:
     def test_rejects_bad_trials(self, rng):
         with pytest.raises(ConfigurationError):
             attacker_count_accuracy(4, 0.2, 4, 0.5, rng=rng, trials=0)
+
+    def test_single_human_still_confusable(self, rng):
+        # N = 1 is the smallest occupancy: X is Bernoulli(p), yet with
+        # phantoms active the MAP attacker must still drop below
+        # certainty while staying a proper probability.
+        result = attacker_count_accuracy(1, 0.2, 4, 0.5, rng=rng,
+                                         trials=4000)
+        assert result["accuracy_without_defense"] == pytest.approx(1.0)
+        assert 0.0 < result["accuracy_with_defense"] < 1.0
+        assert result["mae_with_defense"] >= 0.0

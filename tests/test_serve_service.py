@@ -335,6 +335,22 @@ class TestTelemetry:
         )
         assert {r.batch_size for r in responses} <= {1, 2, 3, 4}
 
+    def test_snapshot_accepts_caller_supplied_stamps(self):
+        # The SessionStore now= convention: the registry never reads a
+        # clock, so a snapshot stamped by the caller is byte-for-byte
+        # reproducible — the property the audit ledger depends on.
+        from repro.serve.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.inc("requests.submitted", 2)
+        stamped = registry.snapshot(now=42.5, sequence=3)
+        assert stamped["now"] == 42.5
+        assert stamped["sequence"] == 3
+        bare = registry.snapshot()
+        assert "now" not in bare and "sequence" not in bare
+        assert (registry.to_json(now=42.5, sequence=3)
+                == registry.to_json(now=42.5, sequence=3))
+
 
 class TestResponseMetadata:
     def test_batch_size_and_timings_populated(self, scene, radar_config):
