@@ -7,6 +7,8 @@ Usage::
     rfprotect run fig11 --fast     # quick (seconds-scale) run
     rfprotect run all --fast       # every experiment, quick settings
     rfprotect run all --fast --workers 4   # fan out over 4 processes
+    rfprotect scenarios            # list the registered scenario specs
+    rfprotect run fig9 --fast --scenario home   # run against a scenario
     rfprotect lint src tests       # rflint static-analysis suite
     rfprotect serve --requests 32  # micro-batching sensing service demo
     rfprotect audit report runs/   # signed privacy audit report
@@ -33,6 +35,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("list", help="list the available experiments")
 
+    subparsers.add_parser("scenarios",
+                          help="list the registered scenario specs")
+
     run_parser = subparsers.add_parser("run", help="run one experiment")
     run_parser.add_argument(
         "experiment",
@@ -45,6 +50,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--seed", type=int, default=None,
         help="override the experiment's random seed",
+    )
+    run_parser.add_argument(
+        "--scenario", default=None,
+        help="run against a registered scenario's environment (see "
+             "'rfprotect scenarios'; default: $RF_PROTECT_SCENARIO)",
     )
     run_parser.add_argument(
         "--workers", type=int, default=1,
@@ -78,8 +88,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _run_all(experiment_ids: list[str], *, fast: bool, seed: int | None,
-             workers: int, record_dir: str | None) -> None:
-    options = {} if seed is None else {"seed": seed}
+             scenario: str | None, workers: int,
+             record_dir: str | None) -> None:
+    options: dict[str, object] = {} if seed is None else {"seed": seed}
+    if scenario:
+        options["scenario"] = scenario
     runs = run_experiments(experiment_ids, fast=fast, workers=workers,
                            record_dir=record_dir, **options)
     for run in runs:
@@ -116,11 +129,25 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"{experiment_id:<{width}}  {spec.description}")
         return 0
 
+    if args.command == "scenarios":
+        from repro.scenarios import get_scenario, scenario_names
+
+        names = scenario_names()
+        width = max(len(name) for name in names)
+        for name in names:
+            print(f"{name:<{width}}  {get_scenario(name).description}")
+        return 0
+
+    from repro.config import get_scenario_name
+
+    scenario = (args.scenario if args.scenario is not None
+                else get_scenario_name() or None)
     targets = (sorted(EXPERIMENTS) if args.experiment == "all"
                else [args.experiment])
     try:
         _run_all(targets, fast=args.fast, seed=args.seed,
-                 workers=args.workers, record_dir=args.record_dir)
+                 scenario=scenario, workers=args.workers,
+                 record_dir=args.record_dir)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

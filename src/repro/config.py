@@ -43,6 +43,8 @@ __all__ = [
     "NN_DTYPE_VAR",
     "PIPELINE_BACKENDS",
     "PIPELINE_BACKEND_VAR",
+    "SCENARIO_SEED_VAR",
+    "SCENARIO_VAR",
     "SERVE_BATCH_WINDOW_MS_VAR",
     "SERVE_DEADLINE_S_VAR",
     "SERVE_MAX_BATCH_VAR",
@@ -61,6 +63,8 @@ __all__ = [
     "get_nn_backend",
     "get_nn_dtype",
     "get_pipeline_backend",
+    "get_scenario_name",
+    "get_scenario_seed",
     "get_serve_batch_window_ms",
     "get_serve_deadline_s",
     "get_serve_max_batch",
@@ -385,6 +389,43 @@ LINT_CACHE_VAR: EnvVar[str] = _register(
 )
 
 
+def _non_negative_int_parser(var_name: str) -> Callable[[str], int]:
+    """A parser accepting integers >= 0."""
+    def parse(raw: str) -> int:
+        value = int(raw.strip())
+        if value < 0:
+            raise ConfigurationError(
+                f"{var_name} must be >= 0, got {value}"
+            )
+        return value
+    return parse
+
+
+SCENARIO_VAR: EnvVar[str] = _register(
+    EnvVar(
+        name="RF_PROTECT_SCENARIO",
+        default="",
+        parse=lambda raw: raw.strip(),
+        description="default scenario name resolved through the scenario "
+                    "registry (repro.scenarios) by the experiments runner "
+                    "and 'rfprotect serve'; empty (the default) keeps each "
+                    "consumer's built-in default, CLI --scenario overrides",
+    )
+)
+
+
+SCENARIO_SEED_VAR: EnvVar[int] = _register(
+    EnvVar(
+        name="RF_PROTECT_SCENARIO_SEED",
+        default=0,
+        parse=_non_negative_int_parser("RF_PROTECT_SCENARIO_SEED"),
+        description="base seed for scenario content streams (per-human "
+                    "trajectories, reflector strategy) when a scenario is "
+                    "built without an explicit seed",
+    )
+)
+
+
 def get_audit_ledger_name(environ: Mapping[str, str] | None = None) -> str:
     """Ledger filename inside a record dir, from ``RF_PROTECT_AUDIT_LEDGER``."""
     return AUDIT_LEDGER_NAME_VAR.read(environ)
@@ -403,6 +444,21 @@ def get_audit_profile(environ: Mapping[str, str] | None = None) -> str:
 def get_lint_cache_dir(environ: Mapping[str, str] | None = None) -> str:
     """rflint cache directory ('' = off), from ``RF_PROTECT_LINT_CACHE``."""
     return LINT_CACHE_VAR.read(environ)
+
+
+def get_scenario_name(environ: Mapping[str, str] | None = None) -> str:
+    """Default scenario name ('' = consumer default), from ``RF_PROTECT_SCENARIO``.
+
+    Validation against the registry happens at resolution time
+    (:func:`repro.scenarios.get_scenario`), not here — the config layer
+    stays import-independent of the catalog.
+    """
+    return SCENARIO_VAR.read(environ)
+
+
+def get_scenario_seed(environ: Mapping[str, str] | None = None) -> int:
+    """Scenario base seed, from ``RF_PROTECT_SCENARIO_SEED``."""
+    return SCENARIO_SEED_VAR.read(environ)
 
 
 def get_synth_backend(environ: Mapping[str, str] | None = None) -> str:
@@ -478,6 +534,8 @@ ENV_ACCESSORS: dict[str, Callable[[Mapping[str, str] | None], object]] = {
     "RF_PROTECT_AUDIT_KEY": get_audit_key_file,
     "RF_PROTECT_AUDIT_PROFILE": get_audit_profile,
     "RF_PROTECT_LINT_CACHE": get_lint_cache_dir,
+    "RF_PROTECT_SCENARIO": get_scenario_name,
+    "RF_PROTECT_SCENARIO_SEED": get_scenario_seed,
     "RF_PROTECT_SYNTH": get_synth_backend,
     "RF_PROTECT_PIPELINE": get_pipeline_backend,
     "RF_PROTECT_NN_BACKEND": get_nn_backend,

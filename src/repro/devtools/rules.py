@@ -7,8 +7,8 @@ count), no wall-clock/uuid nondeterminism in result paths, centralized
 and hygiene classics (mutable defaults, swallowed exceptions, unseeded
 test RNGs).
 
-Rule ids are stable: ``RFP001``–``RFP009`` and ``RFP015`` here; the
-cross-module rules ``RFP010``–``RFP014`` live in
+Rule ids are stable: ``RFP001``–``RFP009``, ``RFP015``, and ``RFP016``
+here; the cross-module rules ``RFP010``–``RFP014`` live in
 :mod:`repro.devtools.projectrules`.
 Suppress a deliberate violation with a trailing ``# rflint:
 disable=RFP00x`` comment (it covers the statement's whole line span).
@@ -32,6 +32,7 @@ __all__ = [
     "AsyncBlockingCall",
     "BackendDispatchOutsideRegistry",
     "CanonicalSerializationDiscipline",
+    "SceneConstructionOutsideBuilders",
 ]
 
 
@@ -818,3 +819,49 @@ class CanonicalSerializationDiscipline(Rule):
                 f"sort_keys=True or use "
                 f"repro.audit.canonical.canonical_json()",
             )
+
+
+_SCENE_CONSTRUCTORS = frozenset(
+    {
+        "repro.radar.Scene",
+        "repro.radar.scene.Scene",
+        "repro.scenarios.Environment",
+        "repro.scenarios.builders.Environment",
+        "repro.experiments.environments.Environment",
+    }
+)
+
+
+@register
+class SceneConstructionOutsideBuilders(Rule):
+    """RFP016 — scenes and environments only through ``repro.scenarios``.
+
+    A hand-built ``Scene(...)``/``Environment(...)`` in experiment or
+    serve code bypasses the scenario registry: its geometry never gets a
+    golden digest, ``--scenario`` can't reach it, and the serve traffic
+    mix can't draw it. The scenario builders
+    (:mod:`repro.scenarios.builders`) are the single place specs become
+    scenes — the same registry-only discipline RFP009 applies to backend
+    dispatch. Construct through ``repro.scenarios.build(...)`` (or the
+    ``Environment.make_scene`` helpers it returns) instead.
+    """
+
+    rule_id = "RFP016"
+    title = "scene construction outside the scenario builders"
+    include = ("*repro/experiments/*", "*repro/serve/*")
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        aliases = build_aliases(source.tree)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve(node.func, aliases)
+            if target in _SCENE_CONSTRUCTORS:
+                cls = target.rsplit(".", 1)[-1]
+                yield self.finding(
+                    source, node,
+                    f"direct {cls}(...) construction bypasses the scenario "
+                    f"registry; resolve deployments via "
+                    f"repro.scenarios.build(...) so every scene is a "
+                    f"registered, digest-covered spec",
+                )

@@ -48,6 +48,10 @@ class ExperimentError(ReproError):
     """An experiment harness was invoked with an unknown id or bad options."""
 
 
+class ScenarioError(ReproError):
+    """A scenario spec is invalid or names an unregistered scenario."""
+
+
 class ServeError(ReproError):
     """Base class for failures raised by the sensing service (`repro.serve`)."""
 

@@ -1,126 +1,30 @@
-"""The two evaluation environments of Fig. 8.
+"""The two evaluation environments of Fig. 8, resolved from the registry.
 
 Office: 10.0 x 6.6 m with metallic cabinets — heavier dynamic multipath,
 which is what the paper blames for its larger errors (Sec. 11.1). Home:
 15.24 x 7.62 m with milder clutter. In both, the eavesdropper radar sits
 at the bottom wall and the RF-Protect panel is deployed ~1.2 m in front of
 it on the same vulnerable wall, per Sec. 9.3.
+
+Both deployments are registered :class:`~repro.scenarios.ScenarioSpec`
+entries (``office`` / ``home`` in :mod:`repro.scenarios.catalog`); this
+module is a compatibility shim that resolves them through the scenario
+registry. :class:`Environment` itself lives in
+:mod:`repro.scenarios.builders` and is re-exported here unchanged.
 """
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Any
-
-import numpy as np
-
-from repro import constants
-from repro.errors import ConfigurationError
-from repro.geometry import Rectangle
-from repro.radar import ChannelModel, FmcwRadar, RadarConfig, Scene
-from repro.radar.channel import MultipathSpec
-from repro.reflector import ReflectorController, ReflectorPanel, RfProtectTag
+from repro.scenarios import Environment, build
 
 __all__ = ["Environment", "home_environment", "office_environment"]
 
 
-@dataclasses.dataclass(frozen=True)
-class Environment:
-    """One evaluation deployment: room, radar pose, panel pose, clutter."""
-
-    name: str
-    room: Rectangle
-    radar_config: RadarConfig
-    panel: ReflectorPanel
-    multipath: MultipathSpec
-    static_clutter: tuple[tuple[float, float, float], ...]
-    """Static reflectors as ``(x, y, rcs)`` triples."""
-
-    def make_channel(self) -> ChannelModel:
-        """Channel with this environment's multipath statistics."""
-        return ChannelModel(multipath=self.multipath)
-
-    def make_scene(self, *, include_clutter: bool = True) -> Scene:
-        """Fresh scene with the environment's static clutter."""
-        scene = Scene(self.room, channel=self.make_channel())
-        if include_clutter:
-            for x, y, rcs in self.static_clutter:
-                scene.add_static((x, y), rcs=rcs)
-        return scene
-
-    def make_radar(self) -> FmcwRadar:
-        """The eavesdropper (or legitimate) radar for this deployment."""
-        return FmcwRadar(self.radar_config)
-
-    def make_tag(self, **tag_kwargs: Any) -> RfProtectTag:
-        """A fresh RF-Protect tag on this environment's panel."""
-        return RfProtectTag(self.panel, **tag_kwargs)
-
-    def make_controller(self, *, frame_coherent: bool = False,
-                        **controller_kwargs: Any) -> ReflectorController:
-        """Controller calibrated for this environment's chirp.
-
-        The controller uses the panel's *nominal* radar assumption, not the
-        true radar position — the tag never learns the latter (Sec. 5.2).
-        """
-        frame_rate = (self.radar_config.frame_rate if frame_coherent else None)
-        return ReflectorController(
-            self.panel, self.radar_config.chirp,
-            frame_coherent_rate=frame_rate,
-            **controller_kwargs,
-        )
-
-    @property
-    def radar_position(self) -> np.ndarray:
-        return np.asarray(self.radar_config.position, dtype=float)
-
-
-def _build_environment(name: str, size: tuple[float, float],
-                       multipath: MultipathSpec,
-                       clutter: tuple[tuple[float, float, float], ...]
-                       ) -> Environment:
-    width, depth = size
-    if width <= 0 or depth <= 0:
-        raise ConfigurationError("environment size must be positive")
-    room = Rectangle.from_size(width, depth)
-    radar_position = (width / 2.0, 0.1)
-    radar_config = RadarConfig(position=radar_position, axis_angle=0.0,
-                               facing_angle=np.pi / 2.0)
-    panel = ReflectorPanel(
-        (width / 2.0, 0.1 + constants.RADAR_TO_REFLECTOR_DISTANCE_M),
-        wall_angle=0.0, normal_angle=np.pi / 2.0,
-    )
-    return Environment(name=name, room=room, radar_config=radar_config,
-                       panel=panel, multipath=multipath,
-                       static_clutter=clutter)
-
-
 def office_environment() -> Environment:
     """The 10.0 x 6.6 m office of Fig. 8b (metallic cabinets, cubicles)."""
-    multipath = MultipathSpec(mean_paths=2.2, excess_distance_mean=0.6,
-                              excess_distance_std=0.4,
-                              relative_amplitude=0.38, angle_spread=0.22)
-    clutter = (
-        (1.0, 5.8, 6.0),   # metal cabinet row
-        (9.0, 5.8, 6.0),   # metal cabinet row
-        (2.5, 3.0, 2.0),   # desk cluster
-        (7.5, 3.0, 2.0),   # desk cluster
-        (5.0, 6.0, 3.0),   # whiteboard wall
-    )
-    return _build_environment("office", constants.OFFICE_SIZE_M,
-                              multipath, clutter)
+    return build("office").environment
 
 
 def home_environment() -> Environment:
     """The 15.24 x 7.62 m home of Fig. 8c (soft furnishing, lighter echo)."""
-    multipath = MultipathSpec(mean_paths=0.6, excess_distance_mean=0.5,
-                              excess_distance_std=0.3,
-                              relative_amplitude=0.15, angle_spread=0.10)
-    clutter = (
-        (3.0, 6.5, 3.0),    # refrigerator
-        (12.0, 6.8, 2.0),   # TV wall
-        (6.0, 4.0, 1.0),    # sofa
-        (10.0, 2.5, 1.0),   # dining table
-    )
-    return _build_environment("home", constants.HOME_SIZE_M,
-                              multipath, clutter)
+    return build("home").environment

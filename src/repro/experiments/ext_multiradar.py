@@ -29,7 +29,7 @@ from repro.eavesdropper.multi_radar import (
 )
 from repro.experiments.artifacts import place_ghost_in_room, trained_gan
 from repro.experiments.environments import Environment, office_environment
-from repro.radar import ChannelModel, FmcwRadar, RadarConfig, Scene
+from repro.radar import ChannelModel, FmcwRadar, RadarConfig
 from repro.radar.radar import SensingResult
 from repro.types import Trajectory
 
@@ -108,7 +108,8 @@ def run(*, environment: Environment | None = None, duration: float = 10.0,
         # inconsistency this attack exploits from environment noise; the
         # effect itself — per-radar ghost construction — is unchanged by
         # multipath, which only blurs both classes equally.
-        scene = Scene(environment.room, channel=ChannelModel())
+        scene = environment.make_scene(include_clutter=False,
+                                       channel=ChannelModel())
         scene.add_human(human)
         scene.add(tag)
         return radar.sense(scene, duration, rng=rng)

@@ -15,35 +15,12 @@ import dataclasses
 import numpy as np
 
 from repro.experiments.environments import Environment, office_environment
+from repro.trajectories.synthesis import rectangle_path, s_curve_path
 from repro.types import Trajectory
 
+# rectangle_path / s_curve_path moved to repro.trajectories.synthesis (they
+# are path primitives, not experiment code); re-exported for compatibility.
 __all__ = ["Fig9Result", "run", "rectangle_path", "s_curve_path"]
-
-
-def rectangle_path(center: np.ndarray, width: float, height: float,
-                   num_points: int, dt: float) -> Trajectory:
-    """A rectangular walking loop around ``center``."""
-    half_w, half_h = width / 2.0, height / 2.0
-    corners = np.array([
-        [-half_w, -half_h], [half_w, -half_h], [half_w, half_h],
-        [-half_w, half_h], [-half_w, -half_h],
-    ]) + center
-    # Arc-length parameterization over the 4 sides.
-    segment_lengths = np.linalg.norm(np.diff(corners, axis=0), axis=1)
-    cumulative = np.concatenate([[0.0], np.cumsum(segment_lengths)])
-    s = np.linspace(0.0, cumulative[-1], num_points)
-    xs = np.interp(s, cumulative, corners[:, 0])
-    ys = np.interp(s, cumulative, corners[:, 1])
-    return Trajectory(np.column_stack([xs, ys]), dt=dt)
-
-
-def s_curve_path(center: np.ndarray, width: float, height: float,
-                 num_points: int, dt: float) -> Trajectory:
-    """An S-shaped sweep across the room."""
-    t = np.linspace(0.0, 1.0, num_points)
-    xs = center[0] + (t - 0.5) * width
-    ys = center[1] + (height / 2.0) * np.sin(2.0 * np.pi * t)
-    return Trajectory(np.column_stack([xs, ys]), dt=dt)
 
 
 @dataclasses.dataclass(frozen=True)

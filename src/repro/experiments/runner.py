@@ -121,11 +121,14 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
 }
 
 
-def _accepts_seed(run: Callable[..., Any]) -> bool:
+def _accepts_option(run: Callable[..., Any], name: str, *,
+                    allow_var_keyword: bool = True) -> bool:
+    """Whether ``run`` can receive a keyword option called ``name``."""
     parameters = inspect.signature(run).parameters.values()
     return any(
-        parameter.kind is inspect.Parameter.VAR_KEYWORD
-        or parameter.name == "seed"
+        (allow_var_keyword
+         and parameter.kind is inspect.Parameter.VAR_KEYWORD)
+        or parameter.name == name
         for parameter in parameters
     )
 
@@ -134,11 +137,17 @@ def run_experiment(experiment_id: str, *, fast: bool = False,
                    **options: Any) -> Any:
     """Run one experiment by id; ``fast=True`` applies quick-run options.
 
-    Explicit keyword ``options`` override the fast presets. A ``seed``
-    option is broadcast-friendly: experiments whose run function takes no
-    ``seed`` (fig7's mutual-information sweep is fully deterministic)
-    simply ignore it, so ``rfprotect run all --seed N`` works across the
-    whole registry.
+    Explicit keyword ``options`` override the fast presets. Two options
+    are broadcast-friendly so ``rfprotect run all`` can pass them across
+    the whole registry:
+
+    - ``seed``: experiments whose run function takes no ``seed`` (fig7's
+      mutual-information sweep is fully deterministic) simply ignore it.
+    - ``scenario``: a registered scenario name (:mod:`repro.scenarios`).
+      It is resolved through the scenario registry (unknown names raise)
+      and becomes an ``environment=`` keyword for run functions that
+      declare one; experiments without an ``environment`` parameter run
+      unchanged.
     """
     spec = EXPERIMENTS.get(experiment_id)
     if spec is None:
@@ -148,8 +157,17 @@ def run_experiment(experiment_id: str, *, fast: bool = False,
         )
     kwargs = dict(spec.fast_options) if fast else {}
     kwargs.update(options)
-    if "seed" in kwargs and not _accepts_seed(spec.run):
+    if "seed" in kwargs and not _accepts_option(spec.run, "seed"):
         del kwargs["seed"]
+    scenario_name = kwargs.pop("scenario", None)
+    if scenario_name:
+        from repro.scenarios import build, get_scenario
+
+        get_scenario(scenario_name)  # validate even for runs that ignore it
+        if _accepts_option(spec.run, "environment",
+                           allow_var_keyword=False):
+            kwargs.setdefault("environment",
+                              build(scenario_name).environment)
     return spec.run(**kwargs)
 
 

@@ -51,7 +51,13 @@ from repro.radar.processing import (
 )
 from repro.radar.pulsed import PulsedRadar, PulsedRadarConfig, PulsedSensingResult
 from repro.radar.radar import FmcwRadar, SensingResult
-from repro.radar.scene import Fan, HumanTarget, Scene, StaticReflector
+from repro.radar.scene import (
+    Fan,
+    HumanTarget,
+    OcclusionSpec,
+    Scene,
+    StaticReflector,
+)
 from repro.radar.stages import (
     KERNELS,
     RECEIVE_PLAN,
@@ -86,6 +92,7 @@ __all__ = [
     "KERNELS",
     "KalmanTracker2D",
     "KernelRegistry",
+    "OcclusionSpec",
     "PackedComponents",
     "PathComponent",
     "RECEIVE_PLAN",

@@ -21,10 +21,41 @@ from repro.radar.channel import ChannelModel
 from repro.radar.frontend import PathComponent
 from repro.types import Trajectory
 
-__all__ = ["BreathingSpec", "Fan", "HumanTarget", "Scene", "SceneEntity",
-           "StaticReflector", "SweepEmitter"]
+__all__ = ["BreathingSpec", "Fan", "HumanTarget", "OcclusionSpec", "Scene",
+           "SceneEntity", "StaticReflector", "SweepEmitter"]
 
 _MIN_ANGLE = 1e-3
+
+
+@dataclasses.dataclass(frozen=True)
+class OcclusionSpec:
+    """Inter-person occlusion model for crowd scenes.
+
+    When one human body stands between the radar and another, the blocked
+    subject's echo is attenuated (shadowing, Sec. 2's crowded-room
+    regime). The model is deliberately deterministic — a pure function of
+    entity positions at the frame time, drawing nothing from the RNG — so
+    enabling it never perturbs the generator stream of the unoccluded
+    entities, and scenes without it stay bit-identical to history.
+
+    Attributes:
+        body_radius: blocking half-width of a standing body, meters.
+        attenuation_db: one-way amplitude loss per blocking body, dB.
+    """
+
+    body_radius: float = 0.25
+    attenuation_db: float = 6.0
+
+    def __post_init__(self) -> None:
+        if self.body_radius <= 0:
+            raise SceneError("occlusion body_radius must be positive")
+        if self.attenuation_db < 0:
+            raise SceneError("occlusion attenuation_db must be >= 0")
+
+    @property
+    def attenuation_linear(self) -> float:
+        """Linear amplitude factor applied per blocking body."""
+        return float(10.0 ** (-self.attenuation_db / 20.0))
 
 
 @runtime_checkable
@@ -191,9 +222,11 @@ class Scene:
     """A room with its reflecting entities."""
 
     def __init__(self, room: Rectangle,
-                 channel: ChannelModel | None = None) -> None:
+                 channel: ChannelModel | None = None,
+                 occlusion: OcclusionSpec | None = None) -> None:
         self.room = room
         self.channel = channel if channel is not None else ChannelModel()
+        self.occlusion = occlusion
         self.entities: list[SceneEntity] = []
 
     def add(self, entity: SceneEntity) -> None:
@@ -230,8 +263,57 @@ class Scene:
         """All paths visible at frame time ``t``."""
         components: list[PathComponent] = []
         for entity in self.entities:
-            components.extend(entity.path_components(t, array, self.channel, rng))
+            components.extend(self.entity_components(entity, t, array, rng))
         return components
+
+    def entity_components(self, entity: SceneEntity, t: float,
+                          array: UniformLinearArray,
+                          rng: np.random.Generator) -> list[PathComponent]:
+        """One entity's paths at ``t``, with inter-person occlusion applied.
+
+        The single emission point both the per-frame and sweep paths go
+        through: the entity is queried exactly as before (identical RNG
+        stream), then — only when the scene has an :class:`OcclusionSpec`
+        and the entity is a human shadowed by another — its components are
+        scaled by the deterministic occlusion factor.
+        """
+        components = entity.path_components(t, array, self.channel, rng)
+        if self.occlusion is None or not isinstance(entity, HumanTarget):
+            return components
+        factor = self._occlusion_factor(entity, t, array)
+        if factor >= 1.0:
+            return components
+        return [dataclasses.replace(c, amplitude=c.amplitude * factor)
+                for c in components]
+
+    def _occlusion_factor(self, entity: HumanTarget, t: float,
+                          array: UniformLinearArray) -> float:
+        """Amplitude factor for ``entity`` given who stands in its way.
+
+        A body blocks when its circle (``body_radius``) intersects the
+        radar→subject segment strictly between the endpoints; each blocker
+        multiplies in one ``attenuation_linear``. Pure geometry, no RNG.
+        """
+        assert self.occlusion is not None
+        subject = entity.position_at(t)
+        origin = array.position
+        segment = subject - origin
+        length = float(np.linalg.norm(segment))
+        if length <= 0.0:
+            return 1.0
+        direction = segment / length
+        blockers = 0
+        for other in self.entities:
+            if other is entity or not isinstance(other, HumanTarget):
+                continue
+            offset = other.position_at(t) - origin
+            along = float(offset @ direction)
+            if not 0.0 < along < length:
+                continue
+            lateral = float(np.linalg.norm(offset - along * direction))
+            if lateral < self.occlusion.body_radius:
+                blockers += 1
+        return self.occlusion.attenuation_linear ** blockers
 
     def sweep_emitter(self, array: UniformLinearArray) -> SweepEmitter:
         """A per-sweep emission cursor over this scene (memoized statics)."""
@@ -278,12 +360,12 @@ class SweepEmitter:
             if getattr(entity, "time_invariant", False):
                 cached = self._memo.get(index)
                 if cached is None:
-                    cached = entity.path_components(t, self._array,
-                                                    scene.channel, rng)
+                    cached = scene.entity_components(entity, t, self._array,
+                                                     rng)
                     self._memo[index] = cached
                 components.extend(cached)
             else:
                 components.extend(
-                    entity.path_components(t, self._array, scene.channel, rng)
+                    scene.entity_components(entity, t, self._array, rng)
                 )
         return components

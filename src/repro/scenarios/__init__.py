@@ -1,0 +1,65 @@
+"""Declarative scenario registry: one spec layer for every deployment.
+
+The package splits scene construction into three layers:
+
+- **spec** (:mod:`repro.scenarios.spec`): typed, frozen data describing a
+  deployment — floorplan and clutter, radar placements (multi-radar
+  included), per-human activity programs, reflector strategy, breathing
+  and occlusion configuration, seed policy, traffic weight.
+- **registry** (:mod:`repro.scenarios.registry`): named specs; the single
+  dispatch point every consumer resolves scenarios through.
+- **builders** (:mod:`repro.scenarios.builders`): the only code that turns
+  specs into :class:`Environment`/:class:`~repro.radar.Scene` objects
+  (rflint RFP016 enforces this).
+
+One registered spec therefore drives the experiments runner
+(``--scenario``), the serve load generator (``rfprotect serve --mix``),
+and the golden range-angle digest suite at once.
+"""
+
+from repro.scenarios.builders import (
+    REFLECTOR_STRATEGIES,
+    BuiltScenario,
+    Environment,
+    build,
+    build_environment,
+    register_reflector_strategy,
+)
+from repro.scenarios.registry import (
+    SCENARIOS,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+    traffic_weights,
+)
+from repro.scenarios.spec import (
+    FloorplanSpec,
+    HumanSpec,
+    RadarPlacement,
+    ReflectorSpec,
+    ScenarioSpec,
+)
+from repro.scenarios.traffic import PlannedRequest, TrafficMix
+
+from repro.scenarios import catalog as _catalog  # noqa: F401  (registers built-ins)
+
+__all__ = [
+    "REFLECTOR_STRATEGIES",
+    "SCENARIOS",
+    "BuiltScenario",
+    "Environment",
+    "FloorplanSpec",
+    "HumanSpec",
+    "PlannedRequest",
+    "RadarPlacement",
+    "ReflectorSpec",
+    "ScenarioSpec",
+    "TrafficMix",
+    "build",
+    "build_environment",
+    "get_scenario",
+    "register_reflector_strategy",
+    "register_scenario",
+    "scenario_names",
+    "traffic_weights",
+]

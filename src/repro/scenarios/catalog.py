@@ -1,0 +1,189 @@
+"""The built-in scenario catalog.
+
+``office`` and ``home`` are the paper's two Fig. 8 deployments — their
+specs carry exactly the sizes, clutter and multipath statistics that
+``experiments/environments.py`` used to hard-code, so building them is
+bit-identical to the original constructors. The rest extend the defense
+story along the axes the paper names but never simulates together:
+crowds with inter-person occlusion, falls, gestures, breathing phantoms,
+dual-radar eavesdroppers, and out-of-paper floorplans.
+
+Every entry here is simultaneously an experiment target
+(``rfprotect run fig9 --scenario NAME``), a serve traffic class
+(``rfprotect serve --mix``), and a golden-digest regression scene
+(``tests/test_golden_scenarios.py``).
+"""
+
+from __future__ import annotations
+
+from repro import constants
+from repro.radar.channel import MultipathSpec
+from repro.radar.scene import BreathingSpec, OcclusionSpec
+from repro.scenarios.registry import register_scenario
+from repro.scenarios.spec import (
+    FloorplanSpec,
+    HumanSpec,
+    RadarPlacement,
+    ReflectorSpec,
+    ScenarioSpec,
+)
+from repro.trajectories.synthesis import ActivityProgram, ProgramStep
+
+__all__ = ["OFFICE_MULTIPATH", "HOME_MULTIPATH"]
+
+#: The office's heavy dynamic multipath (metallic cabinets, Sec. 11.1).
+OFFICE_MULTIPATH = MultipathSpec(mean_paths=2.2, excess_distance_mean=0.6,
+                                 excess_distance_std=0.4,
+                                 relative_amplitude=0.38, angle_spread=0.22)
+
+#: The home's milder echo (soft furnishing).
+HOME_MULTIPATH = MultipathSpec(mean_paths=0.6, excess_distance_mean=0.5,
+                               excess_distance_std=0.3,
+                               relative_amplitude=0.15, angle_spread=0.10)
+
+_OFFICE_FLOORPLAN = FloorplanSpec(
+    size=constants.OFFICE_SIZE_M,
+    clutter=(
+        (1.0, 5.8, 6.0),   # metal cabinet row
+        (9.0, 5.8, 6.0),   # metal cabinet row
+        (2.5, 3.0, 2.0),   # desk cluster
+        (7.5, 3.0, 2.0),   # desk cluster
+        (5.0, 6.0, 3.0),   # whiteboard wall
+    ),
+)
+
+_HOME_FLOORPLAN = FloorplanSpec(
+    size=constants.HOME_SIZE_M,
+    clutter=(
+        (3.0, 6.5, 3.0),    # refrigerator
+        (12.0, 6.8, 2.0),   # TV wall
+        (6.0, 4.0, 1.0),    # sofa
+        (10.0, 2.5, 1.0),   # dining table
+    ),
+)
+
+register_scenario(ScenarioSpec(
+    name="office",
+    description="the 10.0 x 6.6 m office of Fig. 8b (metallic cabinets)",
+    floorplan=_OFFICE_FLOORPLAN,
+    multipath=OFFICE_MULTIPATH,
+    traffic_weight=2.0,
+))
+
+register_scenario(ScenarioSpec(
+    name="home",
+    description="the 15.24 x 7.62 m home of Fig. 8c (soft furnishing)",
+    floorplan=_HOME_FLOORPLAN,
+    multipath=HOME_MULTIPATH,
+    traffic_weight=2.0,
+))
+
+register_scenario(ScenarioSpec(
+    name="office-crowd",
+    description="three office walkers at mixed gaits, with inter-person "
+                "occlusion",
+    floorplan=_OFFICE_FLOORPLAN,
+    multipath=OFFICE_MULTIPATH,
+    humans=(
+        HumanSpec(program=ActivityProgram.of("walk")),
+        HumanSpec(program=ActivityProgram.of("shuffle", "walk")),
+        HumanSpec(program=ActivityProgram.of("stride")),
+    ),
+    occlusion=OcclusionSpec(),
+))
+
+register_scenario(ScenarioSpec(
+    name="office-fall",
+    description="an office walker who collapses mid-trace (fall detection "
+                "workload)",
+    floorplan=_OFFICE_FLOORPLAN,
+    multipath=OFFICE_MULTIPATH,
+    humans=(
+        HumanSpec(program=ActivityProgram((
+            ProgramStep("walk", 0.6), ProgramStep("fall", 0.4),
+        ))),
+    ),
+))
+
+register_scenario(ScenarioSpec(
+    name="home-breathing",
+    description="a seated slow-breathing resident plus a breathing phantom "
+                "from the tag's phase shifter",
+    floorplan=_HOME_FLOORPLAN,
+    multipath=HOME_MULTIPATH,
+    humans=(
+        HumanSpec(program=ActivityProgram.of("sit"),
+                  breathing=BreathingSpec(amplitude=0.006, frequency=0.2)),
+    ),
+    reflector=ReflectorSpec(kind="breathing-ghost", breathing_hz=0.3),
+))
+
+register_scenario(ScenarioSpec(
+    name="home-gesture",
+    description="a mostly seated resident who stands up to gesture",
+    floorplan=_HOME_FLOORPLAN,
+    multipath=HOME_MULTIPATH,
+    humans=(
+        HumanSpec(program=ActivityProgram((
+            ProgramStep("sit", 0.4), ProgramStep("gesture", 0.3),
+            ProgramStep("sit", 0.3),
+        ))),
+    ),
+))
+
+register_scenario(ScenarioSpec(
+    name="office-dual-radar",
+    description="the Sec. 13 dual-radar eavesdropper against one walker "
+                "and one walking ghost",
+    floorplan=_OFFICE_FLOORPLAN,
+    multipath=OFFICE_MULTIPATH,
+    radars=(RadarPlacement(), RadarPlacement(wall="left")),
+    humans=(HumanSpec(program=ActivityProgram.of("walk")),),
+    reflector=ReflectorSpec(kind="walking-ghost"),
+))
+
+register_scenario(ScenarioSpec(
+    name="home-pace",
+    description="a pacing resident: pause-and-turn dashes then a normal "
+                "walk",
+    floorplan=_HOME_FLOORPLAN,
+    multipath=HOME_MULTIPATH,
+    humans=(
+        HumanSpec(program=ActivityProgram((
+            ProgramStep("pause-and-turn", 0.7), ProgramStep("walk", 0.3),
+        ))),
+    ),
+))
+
+register_scenario(ScenarioSpec(
+    name="studio-ghost",
+    description="a small 6.0 x 4.8 m studio defended by a walking ghost "
+                "alone (no occupant)",
+    floorplan=FloorplanSpec(
+        size=(6.0, 4.8),
+        clutter=((0.8, 4.2, 2.0), (5.2, 4.0, 1.5), (3.0, 4.4, 1.0)),
+    ),
+    multipath=MultipathSpec(mean_paths=1.2, excess_distance_mean=0.4,
+                            excess_distance_std=0.25,
+                            relative_amplitude=0.22, angle_spread=0.15),
+    reflector=ReflectorSpec(kind="walking-ghost"),
+))
+
+register_scenario(ScenarioSpec(
+    name="warehouse-sweep",
+    description="an 18 x 12 m warehouse with two brisk walkers and almost "
+                "no multipath",
+    floorplan=FloorplanSpec(
+        size=(18.0, 12.0),
+        clutter=((4.0, 10.0, 4.0), (14.0, 10.0, 4.0), (9.0, 6.0, 2.0)),
+    ),
+    multipath=MultipathSpec(mean_paths=0.3, excess_distance_mean=0.8,
+                            excess_distance_std=0.5,
+                            relative_amplitude=0.10, angle_spread=0.08),
+    humans=(
+        HumanSpec(program=ActivityProgram.of("stride")),
+        HumanSpec(program=ActivityProgram.of("walk", "stride")),
+    ),
+    occlusion=OcclusionSpec(body_radius=0.3),
+    traffic_weight=0.5,
+))

@@ -1,0 +1,53 @@
+"""The scenario registry: named specs, one dispatch point.
+
+Mirrors the kernel-registry discipline (:mod:`repro.radar.stages`): every
+consumer — experiments runner, serve traffic generator, golden-digest
+suite, CLI — resolves scenarios exclusively through :func:`get_scenario`,
+so the catalog in :mod:`repro.scenarios.catalog` is the complete list of
+deployments the system knows how to build.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ScenarioError
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = [
+    "SCENARIOS",
+    "get_scenario",
+    "register_scenario",
+    "scenario_names",
+    "traffic_weights",
+]
+
+#: Every registered scenario, keyed by name. The single dispatch point.
+SCENARIOS: dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec) -> ScenarioSpec:
+    """Register a spec under its name; duplicate names are rejected."""
+    if spec.name in SCENARIOS:
+        raise ScenarioError(f"duplicate scenario registration: {spec.name}")
+    SCENARIOS[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a registered scenario by name."""
+    spec = SCENARIOS.get(name)
+    if spec is None:
+        known = ", ".join(sorted(SCENARIOS))
+        raise ScenarioError(f"unknown scenario {name!r}; known: {known}")
+    return spec
+
+
+def scenario_names() -> tuple[str, ...]:
+    """Sorted names of every registered scenario."""
+    return tuple(sorted(SCENARIOS))
+
+
+def traffic_weights() -> dict[str, float]:
+    """Positive traffic weights of the registry, keyed by scenario name."""
+    return {name: spec.traffic_weight
+            for name, spec in sorted(SCENARIOS.items())
+            if spec.traffic_weight > 0}

@@ -1,0 +1,195 @@
+"""Typed scenario specs: the declarative layer behind scene construction.
+
+A :class:`ScenarioSpec` is pure data — floorplan and clutter, radar
+placements (including multi-radar eavesdroppers), per-human activity
+programs, the reflector strategy, breathing and occlusion configuration,
+and a seed policy. Specs never touch the RNG or build objects themselves;
+:mod:`repro.scenarios.builders` turns them into environments and scenes,
+and :mod:`repro.scenarios.registry` names them. Keeping the spec layer
+declarative is what lets one registered scenario drive the experiments
+runner, the serve traffic generator, and the golden-digest suite at once.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro import constants
+from repro.errors import ScenarioError
+from repro.radar.channel import MultipathSpec
+from repro.radar.scene import BreathingSpec, OcclusionSpec
+from repro.trajectories.synthesis import ActivityProgram
+
+__all__ = [
+    "RADAR_WALLS",
+    "REFLECTOR_KINDS",
+    "FloorplanSpec",
+    "HumanSpec",
+    "RadarPlacement",
+    "ReflectorSpec",
+    "ScenarioSpec",
+]
+
+#: Walls a radar may be mounted on, named from the room's coordinate frame.
+RADAR_WALLS: tuple[str, ...] = ("bottom", "left", "right", "top")
+
+#: Registered reflector strategies (see ``builders.REFLECTOR_STRATEGIES``).
+REFLECTOR_KINDS: tuple[str, ...] = ("none", "static-ghost", "walking-ghost",
+                                    "breathing-ghost")
+
+
+@dataclasses.dataclass(frozen=True)
+class FloorplanSpec:
+    """Room footprint plus its static clutter.
+
+    Attributes:
+        size: room (width, depth) in meters, origin at (0, 0).
+        clutter: static reflectors as ``(x, y, rcs)`` triples.
+        margin: wall standoff of the human walking area, meters.
+    """
+
+    size: tuple[float, float]
+    clutter: tuple[tuple[float, float, float], ...] = ()
+    margin: float = 0.3
+
+    def __post_init__(self) -> None:
+        width, depth = self.size
+        if width <= 0 or depth <= 0:
+            raise ScenarioError("floorplan size must be positive")
+        if self.margin < 0 or 2 * self.margin >= min(width, depth):
+            raise ScenarioError(
+                f"margin {self.margin} leaves no walkable interior in a "
+                f"{width} x {depth} room"
+            )
+        for x, y, _rcs in self.clutter:
+            if not (0 <= x <= width and 0 <= y <= depth):
+                raise ScenarioError(
+                    f"clutter at ({x}, {y}) lies outside the {width} x "
+                    f"{depth} footprint"
+                )
+
+
+@dataclasses.dataclass(frozen=True)
+class RadarPlacement:
+    """One wall-mounted radar: which wall, where along it, how far in.
+
+    The first placement in a spec is the *primary* eavesdropper — the one
+    the RF-Protect panel is deployed against (1.2 m in front, same wall,
+    per Sec. 9.3). Additional placements model the Sec. 13 multi-radar
+    threat.
+    """
+
+    wall: str = "bottom"
+    fraction: float = 0.5
+    inset: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.wall not in RADAR_WALLS:
+            raise ScenarioError(
+                f"radar wall must be one of {RADAR_WALLS}, got {self.wall!r}"
+            )
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ScenarioError(
+                f"radar wall fraction must be in [0, 1], got {self.fraction}"
+            )
+        if self.inset <= 0:
+            raise ScenarioError("radar inset must be positive")
+
+
+@dataclasses.dataclass(frozen=True)
+class HumanSpec:
+    """One simulated human: an activity program plus body parameters.
+
+    Attributes:
+        program: the activity sequence this human executes.
+        rcs: mean radar cross-section of the body.
+        breathing: chest-motion override; ``None`` keeps the
+            :class:`~repro.radar.scene.HumanTarget` default.
+        start: fixed start position; ``None`` samples one from the
+            human's own RNG stream.
+    """
+
+    program: ActivityProgram
+    rcs: float = 1.0
+    breathing: BreathingSpec | None = None
+    start: tuple[float, float] | None = None
+
+    def __post_init__(self) -> None:
+        if self.rcs <= 0:
+            raise ScenarioError(f"human rcs must be positive, got {self.rcs}")
+
+
+@dataclasses.dataclass(frozen=True)
+class ReflectorSpec:
+    """Which RF-Protect defense (if any) the scenario deploys.
+
+    Attributes:
+        kind: strategy name, resolved through the
+            ``builders.REFLECTOR_STRATEGIES`` registry — ``none``,
+            ``static-ghost``, ``walking-ghost``, or ``breathing-ghost``.
+        ghost_offset: static/breathing ghost position relative to the
+            panel center, meters.
+        ghost_profile: walking-ghost shape: index into the motion
+            simulator's activity profiles.
+        breathing_hz: commanded phantom breathing rate (``breathing-ghost``).
+    """
+
+    kind: str = "none"
+    ghost_offset: tuple[float, float] = (0.4, 2.5)
+    ghost_profile: int = 2
+    breathing_hz: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.kind not in REFLECTOR_KINDS:
+            raise ScenarioError(
+                f"reflector kind must be one of {REFLECTOR_KINDS}, "
+                f"got {self.kind!r}"
+            )
+        if self.breathing_hz <= 0:
+            raise ScenarioError("breathing_hz must be positive")
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioSpec:
+    """One named deployment: everything needed to build its scene.
+
+    Attributes:
+        name: registry key (``SCENARIOS[name]``).
+        description: one-line catalog summary.
+        floorplan: room footprint, clutter, walking margin.
+        multipath: the environment's dynamic-multipath statistics.
+        radars: wall placements; the first is the primary eavesdropper.
+        humans: per-human specs, each with its own activity program.
+        reflector: the deployed defense strategy.
+        occlusion: inter-person shadowing model; ``None`` disables it.
+        duration_s: span of the synthesized human traces, seconds.
+        num_points: points per synthesized human trace.
+        default_seed: seed used when the builder is given none.
+        traffic_weight: relative share of this scenario in serve traffic
+            mixes; 0 keeps it out of generated load.
+    """
+
+    name: str
+    description: str
+    floorplan: FloorplanSpec
+    multipath: MultipathSpec
+    radars: tuple[RadarPlacement, ...] = (RadarPlacement(),)
+    humans: tuple[HumanSpec, ...] = ()
+    reflector: ReflectorSpec = ReflectorSpec()
+    occlusion: OcclusionSpec | None = None
+    duration_s: float = constants.TRACE_DURATION_S
+    num_points: int = constants.TRACE_NUM_POINTS
+    default_seed: int = 0
+    traffic_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ScenarioError("scenario name must not be empty")
+        if not self.radars:
+            raise ScenarioError("a scenario needs at least one radar")
+        if self.duration_s <= 0:
+            raise ScenarioError("duration_s must be positive")
+        if self.num_points < 2:
+            raise ScenarioError("num_points must be >= 2")
+        if self.traffic_weight < 0:
+            raise ScenarioError("traffic_weight must be >= 0")

@@ -1,0 +1,82 @@
+"""Traffic mixes: scenario-weighted load plans for the sensing service.
+
+A :class:`TrafficMix` turns the registry's ``traffic_weight`` declarations
+into a deterministic request plan: which scenario each request senses and
+with what seed. Plans depend only on the base seed and each request's
+*position* (scenario choices come from one generator, per-request seeds
+from ``SeedSequence`` children by index), so a load run is reproducible
+regardless of how the requests are later batched or which worker executes
+them — the same discipline the experiments runner uses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.errors import ScenarioError
+from repro.scenarios.registry import get_scenario, traffic_weights
+
+__all__ = ["PlannedRequest", "TrafficMix"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PlannedRequest:
+    """One planned sense request: which scenario, with what seed."""
+
+    scenario: str
+    seed: int
+
+
+class TrafficMix:
+    """A weighted mix of registered scenarios.
+
+    Args:
+        weights: scenario name -> positive relative weight. ``None`` uses
+            every registered scenario's ``traffic_weight`` (entries with
+            weight 0 stay out). Names are validated against the registry.
+    """
+
+    def __init__(self, weights: Mapping[str, float] | None = None) -> None:
+        resolved = dict(traffic_weights()) if weights is None else dict(weights)
+        if not resolved:
+            raise ScenarioError("a traffic mix needs at least one scenario")
+        for name, weight in resolved.items():
+            get_scenario(name)  # unknown names raise here
+            if weight <= 0:
+                raise ScenarioError(
+                    f"traffic weight for {name!r} must be positive, "
+                    f"got {weight}"
+                )
+        self._names = sorted(resolved)
+        total = sum(resolved[name] for name in self._names)
+        self._probabilities = np.array(
+            [resolved[name] / total for name in self._names])
+
+    @property
+    def scenarios(self) -> tuple[str, ...]:
+        """The mix's scenario names, sorted."""
+        return tuple(self._names)
+
+    def plan(self, num_requests: int, *,
+             base_seed: int = 0) -> list[PlannedRequest]:
+        """A deterministic request plan of length ``num_requests``.
+
+        Scenario choices are drawn from one generator seeded by
+        ``base_seed``; each request's sense seed is spawned by position,
+        so request *i* is the same regardless of how many requests follow.
+        """
+        if num_requests < 1:
+            raise ScenarioError(
+                f"num_requests must be >= 1, got {num_requests}"
+            )
+        chooser = np.random.default_rng(np.random.SeedSequence(base_seed))
+        choices = chooser.choice(len(self._names), size=num_requests,
+                                 p=self._probabilities)
+        children = np.random.SeedSequence(base_seed).spawn(num_requests)
+        seeds = [int(child.generate_state(1, dtype=np.uint32)[0])
+                 for child in children]
+        return [PlannedRequest(scenario=self._names[int(index)], seed=seed)
+                for index, seed in zip(choices, seeds)]

@@ -1,13 +1,16 @@
 """``rfprotect serve``: run the sensing service on a demo spoofing workload.
 
 Stands up an :class:`~repro.serve.client.InProcessClient` (service knobs
-from the ``RF_PROTECT_SERVE_*`` environment registry), builds one
-ghost-injection scene — the office deployment with a deployed RF-Protect
-tag spoofing a walking human — and fires a burst of concurrent sense
-requests with distinct seeds at it, exactly the shape of a GAN-in-the-loop
-training or parameter-sweep workload. Prints a per-backend completion
-summary plus the latency/batch-size telemetry, and can export the full
-metrics snapshot as JSON.
+from the ``RF_PROTECT_SERVE_*`` environment registry), builds a scene
+from a registered scenario (``--scenario``, default the office deployment
+with a deployed RF-Protect tag spoofing a walking human) and fires a
+burst of concurrent sense requests with distinct seeds at it, exactly the
+shape of a GAN-in-the-loop training or parameter-sweep workload. With
+``--mix`` each request's scenario is drawn from the registry's
+traffic-weight mix (:class:`~repro.scenarios.TrafficMix`) instead, every
+request carrying its scenario's radar config. Prints a per-backend
+completion summary plus the latency/batch-size telemetry, and can export
+the full metrics snapshot as JSON.
 
 With ``--sessions N`` the demo switches to the *stateful* workload: N
 concurrent tracking sessions, each sensing the scene in ``--chunks``
@@ -31,9 +34,9 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.experiments.environments import office_environment
 from repro.radar.config import RadarConfig
 from repro.radar.scene import Scene
+from repro.scenarios import TrafficMix, build
 from repro.serve.client import InProcessClient
 from repro.serve.request import SenseRequest, TrackRequest
 from repro.serve.service import ServiceConfig
@@ -46,20 +49,35 @@ __all__ = ["build_demo_scene", "main"]
 DEMO_CHIRP_DURATION_S = 3.2e-5
 
 
-def build_demo_scene(seed: int = 7) -> tuple[Scene, RadarConfig]:
-    """The demo workload's scene: office clutter plus one deployed ghost.
+def build_demo_scene(seed: int = 7,
+                     scenario: str = "office") -> tuple[Scene, RadarConfig]:
+    """A registered scenario's scene, on the shortened demo chirp.
 
-    Returns the scene and the radar configuration it should be sensed with
-    (the office eavesdropper's, on the shortened demo chirp).
+    Returns the scene and the radar configuration it should be sensed
+    with (the scenario's primary radar, demo chirp). Environment-only
+    specs (no humans, no reflector — the classic ``office``/``home``
+    deployments) get the traditional demo content: one deployed
+    RF-Protect tag spoofing a walking human. Content-bearing specs are
+    assembled by the scenario builder itself.
     """
     from repro.trajectories import HumanMotionSimulator
 
-    environment = office_environment()
+    built = build(scenario, seed=seed)
     fast_config = dataclasses.replace(
-        environment.radar_config,
+        built.environment.radar_config,
         chirp=ChirpConfig(duration=DEMO_CHIRP_DURATION_S),
     )
-    environment = dataclasses.replace(environment, radar_config=fast_config)
+    environment = dataclasses.replace(built.environment,
+                                      radar_config=fast_config)
+    if built.spec.humans or built.spec.reflector.kind != "none":
+        fast = dataclasses.replace(
+            built, environment=environment,
+            radar_configs=tuple(
+                dataclasses.replace(config, chirp=fast_config.chirp)
+                for config in built.radar_configs
+            ),
+        )
+        return fast.build_scene(), fast_config
 
     rng = np.random.default_rng(seed)
     simulator = HumanMotionSimulator(rng=rng)
@@ -137,6 +155,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="tracked requests per session in the stateful demo "
              "(default: 3)",
     )
+    parser.add_argument(
+        "--scenario", default=None,
+        help="registered scenario to serve (default: $RF_PROTECT_SCENARIO "
+             "or 'office')",
+    )
+    parser.add_argument(
+        "--mix", action="store_true",
+        help="draw each request's scenario from the registry's traffic-"
+             "weight mix instead of serving one scenario",
+    )
     args = parser.parse_args(argv)
     if args.requests < 1:
         parser.error("--requests must be >= 1")
@@ -144,8 +172,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error("--sessions must be >= 0")
     if args.chunks < 1:
         parser.error("--chunks must be >= 1")
+    if args.mix and args.sessions > 0:
+        parser.error("--mix applies to the stateless burst, not --sessions")
 
-    scene, radar_config = build_demo_scene()
+    from repro.config import get_scenario_name, get_scenario_seed
+
+    scenario = (args.scenario if args.scenario is not None
+                else get_scenario_name() or "office")
+    scene, radar_config = build_demo_scene(scenario=scenario)
     service_config = ServiceConfig.from_env()
     print(f"serving: max_batch={service_config.max_batch_size}, "
           f"window={service_config.batch_window_ms}ms, "
@@ -167,11 +201,37 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"session store: {gauges.get('sessions.live', 0):.0f} "
                   f"live, {gauges.get('sessions.parked', 0):.0f} parked")
         else:
-            requests = [
-                SenseRequest(scene=scene, duration=args.sense_duration,
-                             seed=seed)
-                for seed in range(args.requests)
-            ]
+            if args.mix:
+                # Per-request scenarios drawn from the registry's traffic
+                # weights; one scene (and demo radar config) per distinct
+                # scenario, attached per request so mixed batches sense
+                # with the right radar.
+                plan = TrafficMix().plan(args.requests,
+                                         base_seed=get_scenario_seed())
+                cache: dict[str, tuple[Scene, RadarConfig]] = {
+                    scenario: (scene, radar_config)
+                }
+                requests = []
+                for planned in plan:
+                    if planned.scenario not in cache:
+                        cache[planned.scenario] = build_demo_scene(
+                            scenario=planned.scenario)
+                    mix_scene, mix_config = cache[planned.scenario]
+                    requests.append(SenseRequest(
+                        scene=mix_scene, duration=args.sense_duration,
+                        seed=planned.seed, config=mix_config,
+                    ))
+                tally = TallyCounter(planned.scenario for planned in plan)
+                print("traffic mix: " + ", ".join(
+                    f"{count} {name}"
+                    for name, count in sorted(tally.items())
+                ))
+            else:
+                requests = [
+                    SenseRequest(scene=scene, duration=args.sense_duration,
+                                 seed=seed)
+                    for seed in range(args.requests)
+                ]
             responses = client.sense_many(requests)
             elapsed = time.perf_counter() - started
             snapshot = client.metrics_snapshot()

@@ -19,19 +19,44 @@ from repro.trajectories.labels import (
     range_class,
     range_class_of_trajectory,
 )
-from repro.trajectories.synthesis import HumanMotionSimulator, MotionProfile
+from repro.trajectories.synthesis import (
+    ACTIVITIES,
+    Activity,
+    ActivityProgram,
+    HumanMotionSimulator,
+    MotionProfile,
+    ProgramStep,
+    activity_names,
+    get_activity,
+    program_speed_limit,
+    rectangle_path,
+    register_activity,
+    s_curve_path,
+    synthesize_program,
+)
 
 __all__ = [
+    "ACTIVITIES",
+    "Activity",
+    "ActivityProgram",
     "DEFAULT_RANGE_EDGES",
     "FloorPlan",
     "FloorPlanConstraint",
     "HumanMotionSimulator",
     "MotionProfile",
+    "ProgramStep",
     "TrajectoryDataset",
     "Wall",
+    "activity_names",
     "count_wall_crossings",
+    "get_activity",
     "load_dataset",
+    "program_speed_limit",
     "range_class",
     "range_class_of_trajectory",
+    "rectangle_path",
+    "register_activity",
+    "s_curve_path",
     "save_dataset",
+    "synthesize_program",
 ]

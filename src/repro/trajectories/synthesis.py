@@ -1,4 +1,4 @@
-"""Human-motion simulator: the substitute for the paper's office dataset.
+"""Human-motion synthesis: simulator, path primitives, activity library.
 
 Produces 50-point, 10-second 2-D traces (the paper's trace format) using a
 waypoint-seeking second-order walker: the subject picks goals inside a
@@ -7,6 +7,17 @@ heading changes, occasional pauses, and gait jitter. Five
 :class:`MotionProfile` activity levels span near-stationary shuffling to
 brisk walking, giving the dataset the range-of-motion diversity the paper's
 5-class conditioning relies on.
+
+On top of the walker sits an **activity library** (:data:`ACTIVITIES`):
+named motion primitives — sitting, gesturing, falling, pause-and-turn
+pacing, gait variants — composable into per-human
+:class:`ActivityProgram` sequences. Programs are what scenario specs
+(:mod:`repro.scenarios`) attach to each simulated human; they are
+synthesized with one explicit ``rng``, stay inside the walking area, and
+respect each activity's speed limit by construction.
+
+The module also owns the shaped-path primitives (:func:`rectangle_path`,
+:func:`s_curve_path`) that experiments walk ground-truth subjects along.
 """
 
 from __future__ import annotations
@@ -22,7 +33,21 @@ from repro.trajectories.dataset import TrajectoryDataset
 from repro.trajectories.labels import range_class_of_trajectory
 from repro.types import Trajectory
 
-__all__ = ["HumanMotionSimulator", "MotionProfile"]
+__all__ = [
+    "ACTIVITIES",
+    "Activity",
+    "ActivityProgram",
+    "HumanMotionSimulator",
+    "MotionProfile",
+    "ProgramStep",
+    "activity_names",
+    "get_activity",
+    "program_speed_limit",
+    "rectangle_path",
+    "register_activity",
+    "s_curve_path",
+    "synthesize_program",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -168,3 +193,376 @@ class HumanMotionSimulator:
             profile = i % len(self.profiles) if balanced else None
             trajectories.append(self.sample_trajectory(profile))
         return TrajectoryDataset(trajectories)
+
+
+def rectangle_path(center: np.ndarray, width: float, height: float,
+                   num_points: int, dt: float) -> Trajectory:
+    """A rectangular walking loop around ``center``."""
+    half_w, half_h = width / 2.0, height / 2.0
+    corners = np.array([
+        [-half_w, -half_h], [half_w, -half_h], [half_w, half_h],
+        [-half_w, half_h], [-half_w, -half_h],
+    ]) + center
+    # Arc-length parameterization over the 4 sides.
+    segment_lengths = np.linalg.norm(np.diff(corners, axis=0), axis=1)
+    cumulative = np.concatenate([[0.0], np.cumsum(segment_lengths)])
+    s = np.linspace(0.0, cumulative[-1], num_points)
+    xs = np.interp(s, cumulative, corners[:, 0])
+    ys = np.interp(s, cumulative, corners[:, 1])
+    return Trajectory(np.column_stack([xs, ys]), dt=dt)
+
+
+def s_curve_path(center: np.ndarray, width: float, height: float,
+                 num_points: int, dt: float) -> Trajectory:
+    """An S-shaped sweep across the room."""
+    t = np.linspace(0.0, 1.0, num_points)
+    xs = center[0] + (t - 0.5) * width
+    ys = center[1] + (height / 2.0) * np.sin(2.0 * np.pi * t)
+    return Trajectory(np.column_stack([xs, ys]), dt=dt)
+
+
+_ACTIVITY_KINDS = ("walk", "sway", "fall", "turn")
+
+
+@dataclasses.dataclass(frozen=True)
+class Activity:
+    """One named motion primitive of the activity library.
+
+    Attributes:
+        name: registry key (``ACTIVITIES[name]``).
+        kind: stepping mechanics — ``walk`` (waypoint-seeking walker),
+            ``sway`` (anchored body sway: sitting, gesturing), ``fall``
+            (a collapse lurch followed by stillness on the floor), or
+            ``turn`` (pause-and-turn pacing: straight dashes separated by
+            pauses with a heading change).
+        profile: the second-order walker parameters driving the segment.
+        description: one-line catalog summary.
+        sway_amplitude: max drift from the anchor point, meters
+            (``sway`` only).
+        lurch_speed: initial collapse speed, m/s (``fall`` only).
+        lurch_duration_s: collapse span before the subject lies still,
+            seconds (``fall`` only).
+        dash_span_s: straight-dash span between turns, seconds
+            (``turn`` only).
+    """
+
+    name: str
+    kind: str
+    profile: MotionProfile
+    description: str = ""
+    sway_amplitude: float = 0.15
+    lurch_speed: float = 0.0
+    lurch_duration_s: float = 0.0
+    dash_span_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _ACTIVITY_KINDS:
+            raise DatasetError(
+                f"activity kind must be one of {_ACTIVITY_KINDS}, "
+                f"got {self.kind!r}"
+            )
+        if not self.name:
+            raise DatasetError("activity name must not be empty")
+        if self.kind == "sway" and self.sway_amplitude <= 0:
+            raise DatasetError("sway activities need sway_amplitude > 0")
+        if self.kind == "fall" and (self.lurch_speed <= 0
+                                    or self.lurch_duration_s <= 0):
+            raise DatasetError(
+                "fall activities need lurch_speed and lurch_duration_s > 0"
+            )
+        if self.kind == "turn" and self.dash_span_s <= 0:
+            raise DatasetError("turn activities need dash_span_s > 0")
+
+    def speed_limit(self) -> float:
+        """Hard per-step speed bound the stepper enforces, m/s."""
+        return max(1.6 * self.profile.preferred_speed + 0.1, self.lurch_speed)
+
+
+#: Every registered activity, keyed by name. The single dispatch point for
+#: activity lookup — scenario specs reference activities only by name.
+ACTIVITIES: dict[str, Activity] = {}
+
+
+def register_activity(activity: Activity) -> Activity:
+    """Register an activity under its name; duplicate names are rejected."""
+    if activity.name in ACTIVITIES:
+        raise DatasetError(f"duplicate activity registration: {activity.name}")
+    ACTIVITIES[activity.name] = activity
+    return activity
+
+
+def get_activity(name: str) -> Activity:
+    """Look up a registered activity by name."""
+    activity = ACTIVITIES.get(name)
+    if activity is None:
+        known = ", ".join(sorted(ACTIVITIES))
+        raise DatasetError(f"unknown activity {name!r}; known: {known}")
+    return activity
+
+
+def activity_names() -> tuple[str, ...]:
+    """Sorted names of every registered activity."""
+    return tuple(sorted(ACTIVITIES))
+
+
+@dataclasses.dataclass(frozen=True)
+class ProgramStep:
+    """One program segment: an activity name and its share of the trace."""
+
+    activity: str
+    fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.fraction <= 0:
+            raise DatasetError(
+                f"program step fraction must be positive, got {self.fraction}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class ActivityProgram:
+    """A per-human program: activities executed in order.
+
+    Fractions are relative weights — the synthesized trace allots each
+    step ``fraction / sum(fractions)`` of its points (largest-remainder
+    apportionment, so every step gets at least its floor share and the
+    counts always sum exactly).
+    """
+
+    steps: tuple[ProgramStep, ...]
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise DatasetError("a program needs at least one step")
+
+    @classmethod
+    def of(cls, *activities: str) -> ActivityProgram:
+        """An equal-share program over ``activities`` in order."""
+        return cls(tuple(ProgramStep(name) for name in activities))
+
+
+def program_speed_limit(program: ActivityProgram) -> float:
+    """The hard speed bound of a program: max over its activities, m/s."""
+    return max(get_activity(step.activity).speed_limit()
+               for step in program.steps)
+
+
+def _apportion_steps(program: ActivityProgram, total_steps: int) -> list[int]:
+    """Largest-remainder split of ``total_steps`` across program steps."""
+    total_fraction = sum(step.fraction for step in program.steps)
+    quotas = [step.fraction / total_fraction * total_steps
+              for step in program.steps]
+    counts = [int(q) for q in quotas]
+    remainder = total_steps - sum(counts)
+    by_fractional = sorted(range(len(quotas)),
+                           key=lambda i: (quotas[i] - counts[i], -i),
+                           reverse=True)
+    for index in by_fractional[:remainder]:
+        counts[index] += 1
+    return counts
+
+
+def _sample_goal_near(position: np.ndarray, radius: float, area: Rectangle,
+                      margin: float, rng: np.random.Generator) -> np.ndarray:
+    angle = rng.uniform(0.0, 2.0 * np.pi)
+    r = rng.uniform(0.3, 1.0) * radius
+    candidate = position + r * np.array([np.cos(angle), np.sin(angle)])
+    return area.clamp(candidate, margin=margin)
+
+
+def _clamp_speed(velocity: np.ndarray, limit: float) -> np.ndarray:
+    speed = float(np.linalg.norm(velocity))
+    if speed > limit:
+        velocity = velocity * (limit / speed)
+    return velocity
+
+
+def _step_walk(activity: Activity, area: Rectangle, margin: float,
+               position: np.ndarray, velocity: np.ndarray, num_steps: int,
+               dt: float, rng: np.random.Generator,
+               ) -> tuple[list[np.ndarray], np.ndarray, np.ndarray]:
+    profile = activity.profile
+    limit = activity.speed_limit()
+    goal = _sample_goal_near(position, profile.goal_radius, area, margin, rng)
+    points: list[np.ndarray] = []
+    paused_steps = 0
+    for _ in range(num_steps):
+        if paused_steps > 0:
+            paused_steps -= 1
+            velocity = velocity * 0.4
+        else:
+            if rng.random() < profile.pause_probability:
+                paused_steps = int(rng.integers(1, 4))
+            to_goal = goal - position
+            distance = float(np.linalg.norm(to_goal))
+            if distance < 0.25:
+                goal = _sample_goal_near(position, profile.goal_radius,
+                                         area, margin, rng)
+                to_goal = goal - position
+                distance = float(np.linalg.norm(to_goal))
+            desired = to_goal / max(distance, 1e-9) * profile.preferred_speed
+            acceleration = 2.0 * (desired - velocity)
+            acceleration = acceleration + rng.normal(0.0, profile.jitter, 2)
+            velocity = _clamp_speed(velocity + acceleration * dt, limit)
+        position = area.clamp(position + velocity * dt, margin=margin)
+        points.append(position.copy())
+    return points, velocity, position
+
+
+def _step_sway(activity: Activity, area: Rectangle, margin: float,
+               position: np.ndarray, velocity: np.ndarray, num_steps: int,
+               dt: float, rng: np.random.Generator,
+               ) -> tuple[list[np.ndarray], np.ndarray, np.ndarray]:
+    profile = activity.profile
+    limit = activity.speed_limit()
+    anchor = position.copy()
+    points: list[np.ndarray] = []
+    for _ in range(num_steps):
+        acceleration = 4.0 * (anchor - position) - 2.0 * velocity
+        acceleration = acceleration + rng.normal(0.0, profile.jitter, 2)
+        velocity = _clamp_speed(velocity + acceleration * dt, limit)
+        candidate = position + velocity * dt
+        offset = candidate - anchor
+        drift = float(np.linalg.norm(offset))
+        if drift > activity.sway_amplitude:
+            candidate = anchor + offset * (activity.sway_amplitude / drift)
+        position = area.clamp(candidate, margin=margin)
+        points.append(position.copy())
+    return points, velocity, position
+
+
+def _step_fall(activity: Activity, area: Rectangle, margin: float,
+               position: np.ndarray, velocity: np.ndarray, num_steps: int,
+               dt: float, rng: np.random.Generator,
+               ) -> tuple[list[np.ndarray], np.ndarray, np.ndarray]:
+    heading = rng.uniform(0.0, 2.0 * np.pi)
+    direction = np.array([np.cos(heading), np.sin(heading)])
+    lurch_steps = max(1, round(activity.lurch_duration_s / dt))
+    points: list[np.ndarray] = []
+    for step in range(num_steps):
+        if step < lurch_steps:
+            # Collapse: speed decays linearly to zero over the lurch.
+            fraction = 1.0 - step / lurch_steps
+            velocity = activity.lurch_speed * fraction * direction
+        else:
+            velocity = np.zeros(2)
+        position = area.clamp(position + velocity * dt, margin=margin)
+        points.append(position.copy())
+    return points, velocity, position
+
+
+def _step_turn(activity: Activity, area: Rectangle, margin: float,
+               position: np.ndarray, velocity: np.ndarray, num_steps: int,
+               dt: float, rng: np.random.Generator,
+               ) -> tuple[list[np.ndarray], np.ndarray, np.ndarray]:
+    profile = activity.profile
+    limit = activity.speed_limit()
+    dash_steps = max(1, round(activity.dash_span_s / dt))
+    pause_steps = max(1, dash_steps // 2)
+    heading = rng.uniform(0.0, 2.0 * np.pi)
+    points: list[np.ndarray] = []
+    phase_step = 0
+    pausing = False
+    for _ in range(num_steps):
+        if pausing:
+            velocity = velocity * 0.4
+            phase_step += 1
+            if phase_step >= pause_steps:
+                sign = 1.0 if rng.random() < 0.5 else -1.0
+                heading = heading + sign * rng.uniform(np.pi / 3.0,
+                                                       2.0 * np.pi / 3.0)
+                pausing, phase_step = False, 0
+        else:
+            direction = np.array([np.cos(heading), np.sin(heading)])
+            desired = profile.preferred_speed * direction
+            acceleration = 2.0 * (desired - velocity)
+            acceleration = acceleration + rng.normal(0.0, profile.jitter, 2)
+            velocity = _clamp_speed(velocity + acceleration * dt, limit)
+            phase_step += 1
+            if phase_step >= dash_steps:
+                pausing, phase_step = True, 0
+        position = area.clamp(position + velocity * dt, margin=margin)
+        points.append(position.copy())
+    return points, velocity, position
+
+
+_STEPPERS = {"walk": _step_walk, "sway": _step_sway, "fall": _step_fall,
+             "turn": _step_turn}
+
+
+def synthesize_program(program: ActivityProgram, area: Rectangle, *,
+                       num_points: int = constants.TRACE_NUM_POINTS,
+                       duration: float = constants.TRACE_DURATION_S,
+                       rng: np.random.Generator,
+                       start: tuple[float, float] | np.ndarray | None = None,
+                       margin: float = 0.3) -> Trajectory:
+    """Synthesize one trace executing ``program`` inside ``area``.
+
+    Position and velocity carry over between segments, so a
+    walk-then-fall program collapses from wherever the walk ended. The
+    trace stays inside ``area`` (shrunk by ``margin``) and below
+    :func:`program_speed_limit` by construction; determinism comes only
+    from ``rng``.
+    """
+    if num_points < 2:
+        raise DatasetError("traces need at least 2 points")
+    if duration <= 0:
+        raise DatasetError("duration must be positive")
+    activities = [get_activity(step.activity) for step in program.steps]
+    counts = _apportion_steps(program, num_points - 1)
+    dt = duration / (num_points - 1)
+    if start is None:
+        position = area.sample_interior(rng, margin=margin)
+    else:
+        position = area.clamp(np.asarray(start, dtype=float), margin=margin)
+    velocity = np.zeros(2)
+    points = [position.copy()]
+    for activity, count in zip(activities, counts):
+        if count == 0:
+            continue
+        stepper = _STEPPERS[activity.kind]
+        segment, velocity, position = stepper(activity, area, margin,
+                                              position, velocity, count,
+                                              dt, rng)
+        points.extend(segment)
+    trajectory = Trajectory(np.vstack(points), dt=dt)
+    return trajectory.replace(label=range_class_of_trajectory(trajectory))
+
+
+register_activity(Activity(
+    "sit", "sway", MotionProfile(preferred_speed=0.03, goal_radius=0.3,
+                                 pause_probability=0.5, jitter=0.02),
+    description="seated subject: centimeter-scale torso sway only",
+    sway_amplitude=0.06,
+))
+register_activity(Activity(
+    "gesture", "sway", MotionProfile(preferred_speed=0.15, goal_radius=0.4,
+                                     pause_probability=0.1, jitter=0.30),
+    description="standing still but gesturing: fast sway around one spot",
+    sway_amplitude=0.30,
+))
+register_activity(Activity(
+    "fall", "fall", MotionProfile(preferred_speed=0.9, goal_radius=1.0,
+                                  pause_probability=0.0, jitter=0.05),
+    description="a collapse lurch, then lying still on the floor",
+    lurch_speed=2.2, lurch_duration_s=0.6,
+))
+register_activity(Activity(
+    "pause-and-turn", "turn",
+    MotionProfile(preferred_speed=0.8, goal_radius=2.0,
+                  pause_probability=0.0, jitter=0.15),
+    description="pacing: straight dashes separated by pause-and-turn",
+    dash_span_s=1.6,
+))
+register_activity(Activity(
+    "shuffle", "walk", DEFAULT_PROFILES[1],
+    description="slow local pottering (gait variant)",
+))
+register_activity(Activity(
+    "walk", "walk", DEFAULT_PROFILES[2],
+    description="normal-pace waypoint walking (gait variant)",
+))
+register_activity(Activity(
+    "stride", "walk", DEFAULT_PROFILES[4],
+    description="brisk room-crossing walking (gait variant)",
+))

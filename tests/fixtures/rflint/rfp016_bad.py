@@ -1,0 +1,12 @@
+"""Bad fixture for RFP016: hand-built scenes bypass the scenario registry."""
+
+from repro.radar import Scene
+from repro.scenarios import Environment
+
+
+def ad_hoc_scene(room: object) -> Scene:
+    return Scene(room)
+
+
+def ad_hoc_environment(parts: dict) -> Environment:
+    return Environment(**parts)

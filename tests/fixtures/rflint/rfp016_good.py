@@ -1,0 +1,14 @@
+"""Good fixture for RFP016: deployments resolve through the registry."""
+
+from repro.scenarios import build
+
+
+def scenario_scene(name: str) -> object:
+    built = build(name)
+    return built.build_scene()
+
+
+def scenario_environment(name: str) -> object:
+    # Environment helpers (make_scene etc.) on a built scenario are fine;
+    # only direct Scene/Environment construction is registry bypass.
+    return build(name).environment.make_scene()

@@ -39,8 +39,9 @@ FIXTURES = REPO_ROOT / "tests" / "fixtures" / "rflint"
 
 #: Display path each rule's fixtures are linted under, chosen to satisfy
 #: the rule's path scope (RFP004 only runs under radar/signal, RFP007
-#: only under tests, RFP015 only under the audit package, the project
-#: rules RFP010-RFP014 under their respective subsystem trees).
+#: only under tests, RFP015 only under the audit package, RFP016 only
+#: under experiments/serve, the project rules RFP010-RFP014 under their
+#: respective subsystem trees).
 RULE_DISPLAY_PATHS = {
     "RFP001": "src/repro/module.py",
     "RFP002": "src/repro/module.py",
@@ -57,6 +58,7 @@ RULE_DISPLAY_PATHS = {
     "RFP013": "src/repro/radar/module.py",
     "RFP014": "src/repro/serve/module.py",
     "RFP015": "src/repro/audit/module.py",
+    "RFP016": "src/repro/experiments/module.py",
 }
 
 RULE_IDS = sorted(RULE_DISPLAY_PATHS)
@@ -68,7 +70,7 @@ def lint_fixture(name: str, display_path: str):
 
 
 class TestRegistry:
-    def test_all_fifteen_rules_registered(self):
+    def test_all_sixteen_rules_registered(self):
         assert sorted(all_rules()) == RULE_IDS
 
     def test_rules_have_docs_and_titles(self):

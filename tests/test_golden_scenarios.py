@@ -1,0 +1,101 @@
+"""Golden digests for every registered scenario.
+
+PR 5's golden machinery pinned two hand-built scenes against history;
+this suite extends that coverage to the scenario registry: every
+registered spec is built (default seed), sensed by its primary radar on
+the short golden chirp, and summarized with the same digest the
+range-angle suite uses. Registering a scenario without regenerating the
+fixture fails the coverage test, so the catalog and its digests can
+never drift apart.
+
+Regenerate after an *intentional* change with::
+
+    PYTHONPATH=src python tests/test_golden_scenarios.py
+
+and review the fixture diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.radar import FmcwRadar
+from repro.scenarios import build, scenario_names
+from repro.signal.chirp import ChirpConfig
+
+try:
+    from tests.test_golden_regression import (
+        RTOL,
+        assert_digest_matches,
+        digest,
+    )
+except ModuleNotFoundError:  # direct `python tests/test_golden_scenarios.py`
+    import sys
+
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+    from tests.test_golden_regression import (
+        RTOL,
+        assert_digest_matches,
+        digest,
+    )
+
+SCENARIO_GOLDEN_PATH = (Path(__file__).resolve().parent
+                        / "fixtures" / "golden" / "scenario_digests.json")
+
+#: Same fast chirp as the range-angle golden suite; short sense span
+#: keeps the whole catalog sweep seconds-scale.
+GOLDEN_CHIRP_DURATION_S = 6.4e-5
+GOLDEN_SENSE_DURATION_S = 0.8
+GOLDEN_SENSE_SEED = 2022
+
+assert RTOL  # re-exported tolerance; keeps the import explicit
+
+
+def sense_scenario(name: str):
+    """Build a registered scenario and sense it with its primary radar."""
+    built = build(name)
+    scene = built.build_scene()
+    config = dataclasses.replace(
+        built.radar_configs[0],
+        chirp=ChirpConfig(duration=GOLDEN_CHIRP_DURATION_S),
+    )
+    rng = np.random.default_rng(GOLDEN_SENSE_SEED)
+    return FmcwRadar(config).sense(scene, GOLDEN_SENSE_DURATION_S, rng=rng)
+
+
+def compute_scenario_digests() -> dict:
+    return {name: digest(sense_scenario(name)) for name in scenario_names()}
+
+
+@pytest.fixture(scope="module")
+def golden_scenarios() -> dict:
+    if not SCENARIO_GOLDEN_PATH.exists():  # pragma: no cover - regen aid
+        pytest.fail(f"scenario golden fixture missing; regenerate via "
+                    f"PYTHONPATH=src python {Path(__file__).name}")
+    return json.loads(SCENARIO_GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+def test_every_registered_scenario_has_a_digest(golden_scenarios):
+    """Coverage gate: catalog and fixture must name the same scenarios."""
+    assert sorted(golden_scenarios) == list(scenario_names())
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_scenario_matches_golden(golden_scenarios, name):
+    assert_digest_matches(digest(sense_scenario(name)),
+                          golden_scenarios[name])
+
+
+if __name__ == "__main__":  # pragma: no cover - regeneration entry point
+    SCENARIO_GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    SCENARIO_GOLDEN_PATH.write_text(
+        json.dumps(compute_scenario_digests(), indent=2, sort_keys=True)
+        + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {SCENARIO_GOLDEN_PATH}")
